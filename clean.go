@@ -1,0 +1,246 @@
+// Package clean is a reproduction of "CLEAN: A Race Detector with Cleaner
+// Semantics" (Segulja & Abdelrahman, ISCA 2015): a system that precisely
+// detects write-after-write and read-after-write data races — raising a
+// race exception that stops the execution — and orders synchronization
+// deterministically (Kendo), which together guarantee that
+// synchronization-free regions appear to execute in isolation, that their
+// writes appear atomic, and that exception-free executions are
+// deterministic.
+//
+// The package is a facade over the implementation in internal/…:
+//
+//   - a simulated multithreaded machine with a Pthread-like thread API and
+//     a seeded scheduler (internal/machine, internal/memory),
+//   - the CLEAN detector (internal/core) plus FastTrack and TSan-like
+//     baselines (internal/fasttrack, internal/tsanlite),
+//   - deterministic synchronization (internal/kendo),
+//   - a trace-driven hardware timing simulator of §5's architecture
+//     support (internal/hwsim, internal/trace),
+//   - stand-ins for all 26 SPLASH-2/PARSEC benchmarks (internal/workloads)
+//     and the per-figure experiment harness (internal/harness).
+//
+// Quick start: build a machine, write threads against the Thread API, and
+// run — a WAW or RAW race stops the execution with a *RaceError.
+//
+//	m := clean.NewMachine(clean.Config{Detection: clean.DetectCLEAN})
+//	x := m.AllocShared(8, 8)
+//	err := m.Run(func(t *clean.Thread) {
+//		child := t.Spawn(func(c *clean.Thread) { c.StoreU64(x, 1) })
+//		t.StoreU64(x, 2) // races with the child → WAW exception
+//		t.Join(child)
+//	})
+//
+// See examples/ for complete programs and cmd/cleanbench for the paper's
+// evaluation.
+package clean
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fasttrack"
+	"repro/internal/machine"
+	"repro/internal/tsanlite"
+	"repro/internal/vclock"
+	"repro/internal/workloads"
+)
+
+// Re-exported machine types: the programming surface for user programs.
+type (
+	// Machine is a simulated shared-memory multiprocessor run.
+	Machine = machine.Machine
+	// Thread is a logical thread; workload code performs all memory and
+	// synchronization operations through it.
+	Thread = machine.Thread
+	// Mutex, Cond and Barrier are the simulated Pthread primitives.
+	Mutex   = machine.Mutex
+	Cond    = machine.Cond
+	Barrier = machine.Barrier
+	// RaceError is the race exception of the CLEAN execution model.
+	RaceError = machine.RaceError
+	// DeadlockError reports that no thread could make progress.
+	DeadlockError = machine.DeadlockError
+	// Stats aggregates a run's counters.
+	Stats = machine.Stats
+	// RaceKind classifies a race (WAW, RAW, WAR).
+	RaceKind = machine.RaceKind
+)
+
+// Race kinds.
+const (
+	WAW = machine.WAW
+	RAW = machine.RAW
+	WAR = machine.WAR
+)
+
+// Detection selects the race detector attached to a machine.
+type Detection int
+
+// Detector choices.
+const (
+	// DetectNone runs without race detection (the baseline).
+	DetectNone Detection = iota
+	// DetectCLEAN is the paper's detector: precise WAW/RAW detection
+	// with one epoch per shared byte (internal/core).
+	DetectCLEAN
+	// DetectFastTrack is the fully precise baseline, which additionally
+	// detects WAR races at the cost of read vector clocks.
+	DetectFastTrack
+	// DetectTSanLite is the imprecise K-shadow-cell baseline; it can
+	// miss races.
+	DetectTSanLite
+)
+
+// Config configures a Machine built by NewMachine.
+type Config struct {
+	// Seed drives the scheduler's interleaving choices. Different seeds
+	// explore different schedules; with DeterministicSync the results
+	// of completed executions do not depend on it.
+	Seed int64
+	// DeterministicSync enables Kendo deterministic synchronization.
+	DeterministicSync bool
+	// Detection selects the race detector.
+	Detection Detection
+	// DisableMultibyteOpt turns off the §4.4 vectorized multi-byte
+	// check (CLEAN only).
+	DisableMultibyteOpt bool
+	// ClockBits and TIDBits override the 32-bit epoch split (defaults:
+	// 23-bit clock, 8-bit thread id). Narrow clocks trigger the
+	// deterministic rollover reset of §4.5.
+	ClockBits uint
+	TIDBits   uint
+	// YieldEvery coarsens scheduling granularity (default 1: a
+	// scheduling point at every operation).
+	YieldEvery int
+	// Tracer, if non-nil, records the run's event stream (see
+	// internal/trace and internal/hwsim).
+	Tracer machine.Tracer
+}
+
+func (c Config) layout() vclock.Layout {
+	l := vclock.DefaultLayout
+	if c.ClockBits != 0 {
+		l.ClockBits = c.ClockBits
+	}
+	if c.TIDBits != 0 {
+		l.TIDBits = c.TIDBits
+	}
+	return l
+}
+
+func (c Config) detector() machine.Detector {
+	switch c.Detection {
+	case DetectCLEAN:
+		return core.New(core.Config{Layout: c.layout(), DisableMultibyte: c.DisableMultibyteOpt})
+	case DetectFastTrack:
+		return fasttrack.New(fasttrack.Config{Layout: c.layout()})
+	case DetectTSanLite:
+		return tsanlite.New(tsanlite.Config{Layout: c.layout()})
+	default:
+		return nil
+	}
+}
+
+// NewMachine builds a machine per cfg. Allocate memory and create
+// synchronization objects on it, then call Run with the root thread's
+// function.
+func NewMachine(cfg Config) *Machine {
+	return NewMachineWithDetector(cfg, cfg.detector())
+}
+
+// Detector is the race-detection plug-in interface; the built-in choices
+// are selected through Config.Detection, and custom or monitor-mode
+// detectors (core.Config{Monitor: true}, tsanlite) attach through
+// NewMachineWithDetector.
+type Detector = machine.Detector
+
+// NewMachineWithDetector builds a machine with a caller-supplied detector
+// instance, overriding cfg.Detection.
+func NewMachineWithDetector(cfg Config, det Detector) *Machine {
+	return machine.New(machine.Config{
+		Seed:       cfg.Seed,
+		DetSync:    cfg.DeterministicSync,
+		Detector:   det,
+		Layout:     cfg.layout(),
+		YieldEvery: cfg.YieldEvery,
+		Tracer:     cfg.Tracer,
+	})
+}
+
+// WorkloadInfo describes one of the 26 benchmark stand-ins.
+type WorkloadInfo struct {
+	Name        string
+	Suite       string // "splash2" or "parsec"
+	Racy        bool   // the unmodified variant contains data races
+	HasModified bool   // false only for canneal
+	Desc        string
+}
+
+// Workloads lists the benchmark registry.
+func Workloads() []WorkloadInfo {
+	var out []WorkloadInfo
+	for _, w := range workloads.All() {
+		out = append(out, WorkloadInfo{
+			Name: w.Name, Suite: w.Suite, Racy: w.Racy,
+			HasModified: w.HasModified, Desc: w.Desc,
+		})
+	}
+	return out
+}
+
+// Report is the outcome of RunWorkload.
+type Report struct {
+	// Err is nil for a completed execution, a *RaceError for a race
+	// exception, or a *DeadlockError.
+	Err error
+	// Stats are the machine counters.
+	Stats Stats
+	// OutputHash fingerprints the workload's output region (only for
+	// completed executions); under DeterministicSync it is identical
+	// across seeds.
+	OutputHash uint64
+	// FinalCounters are the threads' deterministic counters in spawn
+	// order.
+	FinalCounters []uint64
+	// Elapsed is the wall-clock run time.
+	Elapsed time.Duration
+}
+
+// RunWorkload builds and runs one benchmark stand-in. scale is "test",
+// "simsmall", "simlarge" or "native"; modified selects the race-free
+// variant (§6.1).
+func RunWorkload(name, scale string, modified bool, cfg Config) (*Report, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, &UnknownWorkloadError{Name: name}
+	}
+	sc, err := workloads.ParseScale(scale)
+	if err != nil {
+		return nil, err
+	}
+	variant := workloads.Unmodified
+	if modified {
+		variant = workloads.Modified
+	}
+	m := NewMachine(cfg)
+	root, out := w.Build(m, sc, variant)
+	start := time.Now()
+	runErr := m.Run(root)
+	rep := &Report{
+		Err:           runErr,
+		Stats:         m.Stats(),
+		FinalCounters: m.FinalCounters(),
+		Elapsed:       time.Since(start),
+	}
+	if runErr == nil {
+		rep.OutputHash = m.HashMem(out.Addr, out.Len)
+	}
+	return rep, nil
+}
+
+// UnknownWorkloadError reports a benchmark name not in the registry.
+type UnknownWorkloadError struct{ Name string }
+
+func (e *UnknownWorkloadError) Error() string {
+	return "clean: unknown workload " + e.Name
+}

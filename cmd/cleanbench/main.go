@@ -1,0 +1,66 @@
+// Command cleanbench regenerates the paper's tables and figures
+// (DESIGN.md §5 maps each experiment to its module and paper result).
+//
+// Usage:
+//
+//	cleanbench -exp fig9                # one experiment
+//	cleanbench -exp all -reps 10        # everything, paper-grade reps
+//	cleanbench -list                    # show available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cleanbench: ")
+	var (
+		exp     = flag.String("exp", "all", "experiment to run (see -list)")
+		scale   = flag.String("scale", "", "input scale override: test, simsmall, simlarge, native")
+		reps    = flag.Int("reps", 0, "repetitions per measurement (0 = per-experiment default)")
+		yieldEv = flag.Int("yield", 0, "machine scheduling granularity (0 = default 8)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		verbose = flag.Bool("v", false, "verbose output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	opts := harness.Options{Reps: *reps, YieldEvery: *yieldEv, Verbose: *verbose}
+	if *scale != "" {
+		s, err := workloads.ParseScale(*scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Scale = s
+		opts.ScaleSet = true
+	}
+
+	if *exp == "all" {
+		if err := harness.RunAll(os.Stdout, opts); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	for _, e := range harness.Experiments() {
+		if e.Name == *exp {
+			if err := e.Run(os.Stdout, opts); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+	}
+	log.Fatalf("unknown experiment %q (use -list)", *exp)
+}

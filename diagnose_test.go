@@ -1,0 +1,73 @@
+package clean
+
+import "testing"
+
+func TestDiagnoseRacyWorkload(t *testing.T) {
+	d, err := DiagnoseWorkload("canneal", "test", false, Config{
+		Detection: DetectCLEAN, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FirstException == nil {
+		t.Fatal("canneal must raise a race exception")
+	}
+	if len(d.AllWAWRAW) == 0 {
+		t.Fatal("monitor re-run found no races")
+	}
+	// The first exception must appear among the monitor run's findings.
+	found := false
+	for _, r := range d.AllWAWRAW {
+		if r.Addr == d.FirstException.Addr && r.Kind == d.FirstException.Kind {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("first exception %v missing from monitor findings %v",
+			d.FirstException, d.AllWAWRAW)
+	}
+	// A lock-free workload with many read/write conflicts should also
+	// surface WAR hints.
+	if len(d.WARHints) == 0 {
+		t.Error("expected WAR hints from the imprecise scan of canneal")
+	}
+	for _, h := range d.WARHints {
+		if h.Kind != WAR {
+			t.Errorf("non-WAR hint leaked: %v", h.Kind)
+		}
+	}
+}
+
+func TestDiagnoseCleanRun(t *testing.T) {
+	d, err := DiagnoseWorkload("fft", "test", true, Config{Detection: DetectCLEAN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FirstException != nil || len(d.AllWAWRAW) != 0 || len(d.WARHints) != 0 {
+		t.Fatalf("race-free run produced findings: %+v", d)
+	}
+}
+
+func TestDiagnoseUnknownWorkload(t *testing.T) {
+	if _, err := DiagnoseWorkload("nope", "test", true, Config{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMonitorFindsMoreThanFirstException(t *testing.T) {
+	// canneal performs many independent races; the monitor rerun should
+	// enumerate several distinct racy locations, not just the first.
+	d, err := DiagnoseWorkload("canneal", "simsmall", false, Config{
+		Detection: DetectCLEAN, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := map[uint64]bool{}
+	for _, r := range d.AllWAWRAW {
+		addrs[r.Addr] = true
+	}
+	if len(addrs) < 2 {
+		t.Errorf("monitor found %d distinct racy locations, want several", len(addrs))
+	}
+}

@@ -1,0 +1,84 @@
+// Bankrace: the timing-dependent half of CLEAN's execution model (§3.1).
+//
+// An auditor thread reads account balances while a transfer thread moves
+// money, with no synchronization between them. The read/write pair races;
+// how it resolves depends on timing:
+//
+//   - read after write  → a RAW race: CLEAN raises an exception;
+//   - read before write → a WAR race: CLEAN deliberately does not detect
+//     it, and the execution completes — but §3.1 guarantees the completed
+//     execution's reads returned the last happens-before write, so the
+//     auditor saw a consistent pre-transfer snapshot, never a torn one.
+//
+// Running across many scheduler seeds shows both outcomes and verifies
+// that every completed run produced the same consistent audit total.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	clean "repro"
+)
+
+const (
+	accounts       = 4
+	initialBalance = 1000
+)
+
+func run(seed int64) (total uint64, err error) {
+	m := clean.NewMachine(clean.Config{Detection: clean.DetectCLEAN, Seed: seed})
+	bal := m.AllocShared(accounts*8, 8)
+	runErr := m.Run(func(t *clean.Thread) {
+		for i := 0; i < accounts; i++ {
+			t.StoreU64(bal+uint64(8*i), initialBalance)
+		}
+		auditor := t.Spawn(func(c *clean.Thread) {
+			var sum uint64
+			for i := 0; i < accounts; i++ {
+				sum += c.LoadU64(bal + uint64(8*i))
+				c.Work(2)
+			}
+			total = sum
+		})
+		// The unsynchronized transfer: 0 → 1.
+		t.Work(3)
+		t.StoreU64(bal, t.LoadU64(bal)-100)
+		t.StoreU64(bal+8, t.LoadU64(bal+8)+100)
+		t.Join(auditor)
+	})
+	return total, runErr
+}
+
+func main() {
+	var exceptions, completions int
+	totals := map[uint64]int{}
+	for seed := int64(0); seed < 60; seed++ {
+		total, err := run(seed)
+		var re *clean.RaceError
+		switch {
+		case errors.As(err, &re):
+			exceptions++
+			if re.Kind == clean.WAR {
+				log.Fatal("CLEAN must never raise WAR exceptions")
+			}
+		case err != nil:
+			log.Fatal(err)
+		default:
+			completions++
+			totals[total]++
+		}
+	}
+	fmt.Printf("60 schedules: %d race exceptions (RAW), %d completions (the race resolved as WAR)\n",
+		exceptions, completions)
+	fmt.Printf("audit totals observed in completed runs: %v\n", totals)
+	want := uint64(accounts * initialBalance)
+	for total := range totals {
+		if total != want {
+			log.Fatalf("inconsistent audit total %d: the auditor saw a torn transfer", total)
+		}
+	}
+	fmt.Printf("every completed run audited exactly %d — no out-of-thin-air totals,\n", want)
+	fmt.Println("because a completed CLEAN execution's reads return the last happens-before write (§3.4)")
+}

@@ -1,0 +1,107 @@
+package clean
+
+import (
+	"testing"
+
+	"repro/internal/hwsim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// traceOf records one simsmall modified run of a workload.
+func traceOf(t *testing.T, name string) (*trace.Trace, Stats) {
+	t.Helper()
+	w, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %s", name)
+	}
+	rec := &trace.Recorder{}
+	m := NewMachine(Config{Seed: 1, YieldEvery: 16, Tracer: rec})
+	root, _ := w.Build(m, workloads.ScaleSimSmall, workloads.Modified)
+	if err := m.Run(root); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return &rec.Trace, m.Stats()
+}
+
+// TestTraceMatchesMachineStats: the recorded trace and the machine's own
+// counters must agree on the event totals.
+func TestTraceMatchesMachineStats(t *testing.T) {
+	tr, s := traceOf(t, "barnes")
+	c := tr.Count()
+	if c.Shared != s.SharedAccesses() {
+		t.Errorf("trace shared %d != machine %d", c.Shared, s.SharedAccesses())
+	}
+	if c.Accesses-c.Shared != s.PrivateAccesses {
+		t.Errorf("trace private %d != machine %d", c.Accesses-c.Shared, s.PrivateAccesses)
+	}
+	if c.Syncs != s.SyncOps {
+		t.Errorf("trace syncs %d != machine %d", c.Syncs, s.SyncOps)
+	}
+}
+
+// TestDedupExpandsLinesEndToEnd: the paper's headline hardware result —
+// dedup's byte-granular chunk processing drives the majority of its
+// shared accesses to expanded epoch lines; a word-granular benchmark
+// stays entirely compact.
+func TestDedupExpandsLinesEndToEnd(t *testing.T) {
+	tr, _ := traceOf(t, "dedup")
+	r := hwsim.Simulate(tr, hwsim.Config{Scheme: hwsim.SchemeClean})
+	if r.Expansions == 0 {
+		t.Fatal("dedup triggered no line expansions")
+	}
+	if r.ExpandedAccesses <= r.CompactAccesses {
+		t.Errorf("dedup: expanded %d ≤ compact %d; majority-expanded shape lost",
+			r.ExpandedAccesses, r.CompactAccesses)
+	}
+
+	tr2, _ := traceOf(t, "fft")
+	r2 := hwsim.Simulate(tr2, hwsim.Config{Scheme: hwsim.SchemeClean})
+	if r2.Expansions != 0 || r2.ExpandedAccesses != 0 {
+		t.Errorf("fft expanded lines: %d expansions, %d accesses; want none",
+			r2.Expansions, r2.ExpandedAccesses)
+	}
+}
+
+// TestSchemeCycleOrderingEndToEnd: baseline ≤ 1-byte ≤ CLEAN ≤ 4-byte on a
+// real workload trace (Fig. 11's ordering).
+func TestSchemeCycleOrderingEndToEnd(t *testing.T) {
+	tr, _ := traceOf(t, "dedup")
+	base := hwsim.Simulate(tr, hwsim.Config{Scheme: hwsim.SchemeNone}).TotalCycles
+	e1 := hwsim.Simulate(tr, hwsim.Config{Scheme: hwsim.Scheme1Byte}).TotalCycles
+	cl := hwsim.Simulate(tr, hwsim.Config{Scheme: hwsim.SchemeClean}).TotalCycles
+	e4 := hwsim.Simulate(tr, hwsim.Config{Scheme: hwsim.Scheme4Byte}).TotalCycles
+	if !(base < e1 && e1 <= cl && cl <= e4) {
+		t.Fatalf("ordering violated: base=%d 1B=%d clean=%d 4B=%d", base, e1, cl, e4)
+	}
+}
+
+// TestExpansionsAreRareOutsideByteWorkloads: Fig. 10's "<0.02% expansion"
+// claim, checked across a word-granular sample.
+func TestExpansionsAreRareOutsideByteWorkloads(t *testing.T) {
+	for _, name := range []string{"barnes", "lu_cb", "ocean_cp", "streamcluster", "x264"} {
+		tr, _ := traceOf(t, name)
+		r := hwsim.Simulate(tr, hwsim.Config{Scheme: hwsim.SchemeClean})
+		if frac := r.ClassFraction(hwsim.ClassExpand); frac > 0.0002 {
+			t.Errorf("%s: expansion fraction %.4f%% exceeds the paper's bound", name, frac*100)
+		}
+	}
+}
+
+// TestDetectionSlowdownBounded: the hardware never slows any benchmark by
+// more than the paper's envelope order (≤50%), and always costs something
+// on shared-access-bearing workloads.
+func TestDetectionSlowdownBounded(t *testing.T) {
+	for _, name := range []string{"dedup", "lu_cb", "swaptions", "fmm"} {
+		tr, _ := traceOf(t, name)
+		base := hwsim.Simulate(tr, hwsim.Config{Scheme: hwsim.SchemeNone}).TotalCycles
+		cl := hwsim.Simulate(tr, hwsim.Config{Scheme: hwsim.SchemeClean}).TotalCycles
+		slow := float64(cl)/float64(base) - 1
+		if slow <= 0 {
+			t.Errorf("%s: detection was free (%.2f%%)", name, slow*100)
+		}
+		if slow > 0.50 {
+			t.Errorf("%s: slowdown %.1f%% above the paper's 46.7%% envelope", name, slow*100)
+		}
+	}
+}

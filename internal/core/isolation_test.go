@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestFig1aSFRIsolation reproduces the Fig. 1a scenario's essence. The
+// compiler bug the paper describes needs a value to change *between two
+// reads inside one synchronization-free region* (the spilled variable is
+// reloaded and the bounds check uses the stale assumption). Under CLEAN a
+// thread can never observe such a change: either both reads return the
+// pre-write value (the racy write resolved as WAR, execution completes)
+// or the second read is a RAW race and the execution stops before the
+// "impossible" branch can be taken.
+func TestFig1aSFRIsolation(t *testing.T) {
+	var observedChange, completions, exceptions int
+	for seed := int64(0); seed < 60; seed++ {
+		det := New(Config{})
+		m := machine.New(machine.Config{Seed: seed, Detector: det})
+		x := m.AllocShared(8, 8)
+		err := m.Run(func(th *machine.Thread) {
+			th.StoreU64(x, 1) // a < 2 initially
+			writer := th.Spawn(func(c *machine.Thread) {
+				c.Work(2)
+				c.StoreU64(x, 5) // the racy out-of-range write
+			})
+			reader := th.Spawn(func(c *machine.Thread) {
+				a := c.LoadU64(x) // the bounds check: a < 2
+				if a < 2 {
+					c.Work(3) // "complex code forcing a to be spilled"
+					// The reload the optimizer introduced:
+					if again := c.LoadU64(x); again != a {
+						observedChange++
+					}
+				}
+			})
+			th.Join(writer)
+			th.Join(reader)
+		})
+		var re *machine.RaceError
+		switch {
+		case errors.As(err, &re):
+			exceptions++
+			if re.Kind == machine.WAR {
+				t.Fatalf("seed %d: WAR exception", seed)
+			}
+		case err != nil:
+			t.Fatalf("seed %d: %v", seed, err)
+		default:
+			completions++
+		}
+	}
+	if observedChange > 0 {
+		t.Fatalf("a synchronization-free region observed its data change %d times: SFR isolation violated", observedChange)
+	}
+	if exceptions == 0 || completions == 0 {
+		t.Fatalf("litmus vacuous: %d exceptions, %d completions", exceptions, completions)
+	}
+}
+
+// TestOverlappingMixedSizeRaces: races must be caught at byte granularity
+// even when the two accesses have different sizes and only partially
+// overlap (§3.2's correctness requirement).
+func TestOverlappingMixedSizeRaces(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		det := New(Config{})
+		m := machine.New(machine.Config{Seed: seed, Detector: det})
+		buf := m.AllocShared(16, 8)
+		err := m.Run(func(th *machine.Thread) {
+			c := th.Spawn(func(c *machine.Thread) {
+				c.Store(buf+3, 1, 0xFF) // one byte inside the other thread's range
+			})
+			th.Store(buf, 8, 0x1122334455667788)
+			th.Join(c)
+		})
+		var re *machine.RaceError
+		if !errors.As(err, &re) || re.Kind != machine.WAW {
+			t.Fatalf("seed %d: partially overlapping writes not caught: %v", seed, err)
+		}
+	}
+}
+
+// TestAdjacentNonOverlappingAccessesNeverRace: byte granularity also means
+// no false sharing — neighbours in one word are independent.
+func TestAdjacentNonOverlappingAccessesNeverRace(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		det := New(Config{})
+		m := machine.New(machine.Config{Seed: seed, Detector: det})
+		buf := m.AllocShared(8, 8)
+		err := m.Run(func(th *machine.Thread) {
+			c := th.Spawn(func(c *machine.Thread) {
+				c.Store(buf, 4, 1)
+			})
+			th.Store(buf+4, 4, 2)
+			th.Join(c)
+		})
+		if err != nil {
+			t.Fatalf("seed %d: false positive on disjoint halves: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/progen"
+)
+
+func TestMonitorModeNeverStops(t *testing.T) {
+	det := New(Config{Monitor: true})
+	m := machine.New(machine.Config{Seed: 0, Detector: det})
+	a := m.AllocShared(8, 8)
+	err := m.Run(func(th *machine.Thread) {
+		c := th.Spawn(func(c *machine.Thread) {
+			for i := 0; i < 5; i++ {
+				c.StoreU64(a, uint64(i))
+			}
+		})
+		for i := 0; i < 5; i++ {
+			th.StoreU64(a, uint64(100+i))
+		}
+		th.Join(c)
+	})
+	if err != nil {
+		t.Fatalf("monitor mode stopped the machine: %v", err)
+	}
+	if len(det.Races()) == 0 {
+		t.Fatal("monitor mode recorded nothing on a racy program")
+	}
+}
+
+func TestMonitorDeduplicates(t *testing.T) {
+	det := New(Config{Monitor: true})
+	m := machine.New(machine.Config{Seed: 0, Detector: det})
+	a := m.AllocShared(8, 8)
+	err := m.Run(func(th *machine.Thread) {
+		c := th.Spawn(func(c *machine.Thread) {
+			for i := 0; i < 20; i++ {
+				c.StoreU64(a, uint64(i))
+			}
+		})
+		for i := 0; i < 20; i++ {
+			th.StoreU64(a, uint64(100+i))
+		}
+		th.Join(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	races := det.Races()
+	// 40 conflicting writes, but reports dedup by (kind, addr, pair):
+	// at most a handful of distinct entries.
+	if len(races) > 8 {
+		t.Errorf("monitor reported %d races for one location/pair; dedup broken", len(races))
+	}
+}
+
+// TestMonitorFirstMatchesStopping: on the same schedule, the first race a
+// monitor-mode detector records is the one the stopping detector raises.
+func TestMonitorFirstMatchesStopping(t *testing.T) {
+	for gen := int64(0); gen < 30; gen++ {
+		p := progen.Generate(progen.DefaultConfig(gen))
+		for sched := int64(0); sched < 3; sched++ {
+			_, errStop := p.Run(sched, New(Config{}), false)
+			mon := New(Config{Monitor: true})
+			if _, err := p.Run(sched, mon, false); err != nil {
+				t.Fatalf("monitor run stopped: %v", err)
+			}
+			var re *machine.RaceError
+			stopped := errors.As(errStop, &re)
+			races := mon.Races()
+			if stopped != (len(races) > 0) {
+				t.Fatalf("gen %d sched %d: stopping=%v but monitor found %d races",
+					gen, sched, stopped, len(races))
+			}
+			if !stopped {
+				continue
+			}
+			first := races[0]
+			if first.Kind != re.Kind || first.Addr != re.Addr || first.TID != re.TID {
+				t.Fatalf("gen %d sched %d: first monitor race %v != exception %v",
+					gen, sched, first, re)
+			}
+		}
+	}
+}
+
+func TestMonitorResetClearsState(t *testing.T) {
+	det := New(Config{Monitor: true})
+	m := machine.New(machine.Config{Seed: 0, Detector: det})
+	a := m.AllocShared(8, 8)
+	if err := m.Run(func(th *machine.Thread) {
+		c := th.Spawn(func(c *machine.Thread) { c.StoreU64(a, 1) })
+		th.StoreU64(a, 2)
+		th.Join(c)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Races()) == 0 {
+		t.Fatal("no race recorded")
+	}
+	det.Reset()
+	// Reset drops epochs (rollover semantics) but keeps the report list:
+	// the races already happened.
+	if len(det.Races()) == 0 {
+		t.Fatal("Reset must not erase already-recorded races")
+	}
+}

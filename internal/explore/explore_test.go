@@ -1,0 +1,202 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func cleanDet() machine.Detector { return core.New(core.Config{}) }
+
+// TestExhaustiveWAWAlwaysDetected upgrades the sampled claim to a proof
+// over the full interleaving space: two unordered writes end in a WAW
+// exception in EVERY schedule.
+func TestExhaustiveWAWAlwaysDetected(t *testing.T) {
+	res := Run(Options{Detector: cleanDet}, func(m *machine.Machine) func(*machine.Thread) {
+		a := m.AllocShared(8, 8)
+		return func(th *machine.Thread) {
+			c := th.Spawn(func(c *machine.Thread) { c.StoreU64(a, 1) })
+			th.StoreU64(a, 2)
+			th.Join(c)
+		}
+	}, nil)
+	if !res.Exhaustive() {
+		t.Fatalf("space truncated at %d runs", res.Runs)
+	}
+	if res.Completed != 0 || res.Exceptions[machine.WAW] != res.Runs {
+		t.Fatalf("WAW not detected in every interleaving: %+v", res)
+	}
+	if res.Runs < 2 {
+		t.Fatalf("only %d interleavings explored; exploration broken", res.Runs)
+	}
+}
+
+// TestExhaustiveRAWvsWAR: an unordered write/read pair either raises RAW
+// or completes (WAR) — and over the full space both outcomes occur, with
+// no other exception kind.
+func TestExhaustiveRAWvsWAR(t *testing.T) {
+	res := Run(Options{Detector: cleanDet}, func(m *machine.Machine) func(*machine.Thread) {
+		a := m.AllocShared(8, 8)
+		return func(th *machine.Thread) {
+			c := th.Spawn(func(c *machine.Thread) { c.LoadU64(a) })
+			th.StoreU64(a, 7)
+			th.Join(c)
+		}
+	}, nil)
+	if !res.Exhaustive() {
+		t.Fatalf("space truncated at %d runs", res.Runs)
+	}
+	if res.Exceptions[machine.WAW] != 0 || res.Exceptions[machine.WAR] != 0 {
+		t.Fatalf("unexpected exception kinds: %+v", res)
+	}
+	if res.Exceptions[machine.RAW] == 0 || res.Completed == 0 {
+		t.Fatalf("want both RAW exceptions and completions: %+v", res)
+	}
+	if res.Deadlocks != 0 || res.OtherErrors != 0 {
+		t.Fatalf("stray failures: %+v", res)
+	}
+}
+
+// TestExhaustiveTornWriteNeverObservable: across EVERY interleaving of the
+// Fig. 1b torn-write program, no completed execution leaves a half-half
+// value in memory.
+func TestExhaustiveTornWriteNeverObservable(t *testing.T) {
+	var addr uint64
+	res := Run(Options{Detector: cleanDet}, func(m *machine.Machine) func(*machine.Thread) {
+		addr = m.AllocShared(8, 8)
+		return func(th *machine.Thread) {
+			c := th.Spawn(func(c *machine.Thread) {
+				c.StoreU32(addr+4, 0x1)
+				c.StoreU32(addr, 0x0)
+			})
+			th.StoreU32(addr+4, 0x0)
+			th.StoreU32(addr, 0x1)
+			th.Join(c)
+		}
+	}, func(m *machine.Machine, err error) {
+		if err != nil {
+			return
+		}
+		v := m.Mem().Load(addr, 8)
+		if v != 0x100000000 && v != 0x1 {
+			t.Fatalf("completed interleaving observed torn value %#x", v)
+		}
+	})
+	if !res.Exhaustive() {
+		t.Fatalf("space truncated at %d runs", res.Runs)
+	}
+	if res.Exceptions[machine.WAW] == 0 {
+		t.Fatalf("no WAW exceptions in the torn-write space: %+v", res)
+	}
+}
+
+// TestExhaustiveLockedProgramRaceFree: the locked counter completes with
+// the right value in EVERY interleaving — no false positives anywhere in
+// the space.
+func TestExhaustiveLockedProgramRaceFree(t *testing.T) {
+	var addr uint64
+	res := Run(Options{Detector: cleanDet, MaxRuns: 50000}, func(m *machine.Machine) func(*machine.Thread) {
+		addr = m.AllocShared(8, 8)
+		l := m.NewMutex()
+		return func(th *machine.Thread) {
+			c := th.Spawn(func(c *machine.Thread) {
+				c.Lock(l)
+				c.StoreU64(addr, c.LoadU64(addr)+1)
+				c.Unlock(l)
+			})
+			th.Lock(l)
+			th.StoreU64(addr, th.LoadU64(addr)+1)
+			th.Unlock(l)
+			th.Join(c)
+		}
+	}, func(m *machine.Machine, err error) {
+		if err != nil {
+			t.Fatalf("false positive: %v", err)
+		}
+		if v := m.Mem().Load(addr, 8); v != 2 {
+			t.Fatalf("counter = %d, want 2", v)
+		}
+	})
+	if !res.Exhaustive() {
+		t.Logf("note: space truncated after %d runs (bounded check)", res.Runs)
+	}
+	if res.Completed != res.Runs {
+		t.Fatalf("non-completions in a race-free program: %+v", res)
+	}
+}
+
+// TestExhaustiveKendoDeterminism: every completed interleaving of a
+// deterministic-sync program yields the same memory image.
+func TestExhaustiveKendoDeterminism(t *testing.T) {
+	var addr uint64
+	var refHash uint64
+	first := true
+	res := Run(Options{Detector: cleanDet, DetSync: true, MaxRuns: 20000},
+		func(m *machine.Machine) func(*machine.Thread) {
+			addr = m.AllocShared(16, 8)
+			l := m.NewMutex()
+			return func(th *machine.Thread) {
+				c := th.Spawn(func(c *machine.Thread) {
+					c.Lock(l)
+					c.StoreU64(addr, c.LoadU64(addr)*3+1)
+					c.Unlock(l)
+				})
+				th.Lock(l)
+				th.StoreU64(addr, th.LoadU64(addr)*5+2)
+				th.Unlock(l)
+				th.Join(c)
+				th.StoreU64(addr+8, th.LoadU64(addr))
+			}
+		},
+		func(m *machine.Machine, err error) {
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			h := m.HashMem(addr, 16)
+			if first {
+				refHash, first = h, false
+			} else if h != refHash {
+				t.Fatalf("interleaving diverged: %x vs %x", h, refHash)
+			}
+		})
+	if res.Runs < 2 {
+		t.Fatalf("only %d interleavings; vacuous", res.Runs)
+	}
+	if !res.Exhaustive() {
+		t.Logf("note: bounded determinism check over %d interleavings", res.Runs)
+	}
+}
+
+// TestMaxRunsBounds: the search respects its budget and reports
+// truncation.
+func TestMaxRunsBounds(t *testing.T) {
+	res := Run(Options{MaxRuns: 5}, func(m *machine.Machine) func(*machine.Thread) {
+		a := m.AllocShared(8, 8)
+		return func(th *machine.Thread) {
+			c1 := th.Spawn(func(c *machine.Thread) { c.Work(3); c.LoadU64(a) })
+			c2 := th.Spawn(func(c *machine.Thread) { c.Work(3); c.LoadU64(a) })
+			th.Join(c1)
+			th.Join(c2)
+		}
+	}, nil)
+	if res.Runs != 5 || !res.Truncated {
+		t.Fatalf("budget not respected: %+v", res)
+	}
+}
+
+// TestSingleThreadOneInterleaving: a sequential program has exactly one
+// schedule.
+func TestSingleThreadOneInterleaving(t *testing.T) {
+	res := Run(Options{}, func(m *machine.Machine) func(*machine.Thread) {
+		a := m.AllocShared(8, 8)
+		return func(th *machine.Thread) {
+			for i := 0; i < 5; i++ {
+				th.StoreU64(a, uint64(i))
+			}
+		}
+	}, nil)
+	if res.Runs != 1 || !res.Exhaustive() || res.Completed != 1 {
+		t.Fatalf("sequential program explored %+v", res)
+	}
+}

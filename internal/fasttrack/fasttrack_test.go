@@ -1,0 +1,206 @@
+package fasttrack
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/oracle"
+	"repro/internal/progen"
+)
+
+func raceOf(err error) (*machine.RaceError, bool) {
+	var re *machine.RaceError
+	ok := errors.As(err, &re)
+	return re, ok
+}
+
+func TestDetectsWAW(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		d := New(Config{})
+		m := machine.New(machine.Config{Seed: seed, Detector: d})
+		a := m.AllocShared(8, 8)
+		err := m.Run(func(th *machine.Thread) {
+			c := th.Spawn(func(c *machine.Thread) { c.StoreU64(a, 1) })
+			th.StoreU64(a, 2)
+			th.Join(c)
+		})
+		re, ok := raceOf(err)
+		if !ok || re.Kind != machine.WAW {
+			t.Fatalf("seed %d: err = %v, want WAW", seed, err)
+		}
+	}
+}
+
+func TestDetectsWARUnlikeCLEAN(t *testing.T) {
+	// The defining difference: on a schedule where the read precedes the
+	// racing write, FastTrack raises WAR while CLEAN completes.
+	found := false
+	for seed := int64(0); seed < 60 && !found; seed++ {
+		build := func(m *machine.Machine) func(*machine.Thread) {
+			a := m.AllocShared(8, 8)
+			return func(th *machine.Thread) {
+				c := th.Spawn(func(c *machine.Thread) { c.LoadU64(a) })
+				th.Work(6)
+				th.StoreU64(a, 1)
+				th.Join(c)
+			}
+		}
+		ft := New(Config{})
+		mft := machine.New(machine.Config{Seed: seed, Detector: ft})
+		errFT := mft.Run(build(mft))
+		re, ok := raceOf(errFT)
+		if !ok || re.Kind != machine.WAR {
+			continue
+		}
+		found = true
+		cl := core.New(core.Config{})
+		mcl := machine.New(machine.Config{Seed: seed, Detector: cl})
+		if err := mcl.Run(build(mcl)); err != nil {
+			t.Fatalf("seed %d: CLEAN stopped on a WAR-only schedule: %v", seed, err)
+		}
+	}
+	if !found {
+		t.Fatal("no WAR schedule found; test vacuous")
+	}
+}
+
+func TestConcurrentReadsThenWriteRaisesWAR(t *testing.T) {
+	// Two unordered readers force read-VC inflation; a later unordered
+	// writer must be caught by the O(n) read scan.
+	d := New(Config{})
+	m := machine.New(machine.Config{Seed: 3, Detector: d})
+	a := m.AllocShared(8, 8)
+	err := m.Run(func(th *machine.Thread) {
+		r1 := th.Spawn(func(c *machine.Thread) { c.LoadU64(a) })
+		r2 := th.Spawn(func(c *machine.Thread) { c.LoadU64(a) })
+		w := th.Spawn(func(c *machine.Thread) {
+			c.Work(50) // run after the readers in most schedules
+			c.StoreU64(a, 1)
+		})
+		th.Join(r1)
+		th.Join(r2)
+		th.Join(w)
+	})
+	re, ok := raceOf(err)
+	if !ok {
+		t.Fatalf("err = %v, want a race", err)
+	}
+	if re.Kind != machine.WAR && re.Kind != machine.RAW {
+		t.Fatalf("kind = %v, want WAR (or RAW under an early-writer schedule)", re.Kind)
+	}
+	if d.Stats().ReadInflations == 0 && re.Kind == machine.WAR {
+		t.Error("WAR caught without inflation accounting")
+	}
+}
+
+func TestNoFalsePositives(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		d := New(Config{})
+		m := machine.New(machine.Config{Seed: seed, Detector: d})
+		a := m.AllocShared(8, 8)
+		l := m.NewMutex()
+		err := m.Run(func(th *machine.Thread) {
+			var kids []*machine.Thread
+			for i := 0; i < 3; i++ {
+				kids = append(kids, th.Spawn(func(c *machine.Thread) {
+					for j := 0; j < 8; j++ {
+						c.Lock(l)
+						c.StoreU64(a, c.LoadU64(a)+1)
+						c.Unlock(l)
+					}
+				}))
+			}
+			for _, k := range kids {
+				th.Join(k)
+			}
+		})
+		if err != nil {
+			t.Fatalf("seed %d: false positive: %v", seed, err)
+		}
+	}
+}
+
+func TestAgreesWithOracleOnRandomPrograms(t *testing.T) {
+	var stops, completes int
+	for gen := int64(0); gen < 60; gen++ {
+		p := progen.Generate(progen.DefaultConfig(gen))
+		for sched := int64(0); sched < 5; sched++ {
+			_, errFT := p.Run(sched, New(Config{}), false)
+			_, errO := p.Run(sched, oracle.New(oracle.AllRaces), false)
+			if (errFT == nil) != (errO == nil) {
+				t.Fatalf("gen %d sched %d: fasttrack=%v oracle=%v", gen, sched, errFT, errO)
+			}
+			if errFT == nil {
+				completes++
+				continue
+			}
+			stops++
+			f, _ := raceOf(errFT)
+			o, _ := raceOf(errO)
+			if f == nil || o == nil || f.Kind != o.Kind || f.Addr != o.Addr || f.TID != o.TID {
+				t.Fatalf("gen %d sched %d: fasttrack %v vs oracle %v", gen, sched, f, o)
+			}
+		}
+	}
+	if stops == 0 || completes == 0 {
+		t.Fatalf("cross-check vacuous: %d stops, %d completions", stops, completes)
+	}
+}
+
+func TestMetadataLargerThanCLEAN(t *testing.T) {
+	// §4.6: CLEAN's metadata (4 bytes per accessed byte) is strictly
+	// smaller than FastTrack's on read-shared data.
+	build := func(m *machine.Machine) func(*machine.Thread) {
+		a := m.AllocShared(256, 8)
+		b := m.NewBarrier(4)
+		return func(th *machine.Thread) {
+			var kids []*machine.Thread
+			for i := 0; i < 3; i++ {
+				kids = append(kids, th.Spawn(func(c *machine.Thread) {
+					c.BarrierWait(b)
+					for j := 0; j < 32; j++ {
+						c.LoadU64(a + uint64(8*j))
+					}
+				}))
+			}
+			for j := 0; j < 32; j++ {
+				th.StoreU64(a+uint64(8*j), uint64(j))
+			}
+			th.BarrierWait(b)
+			for j := 0; j < 32; j++ {
+				th.LoadU64(a + uint64(8*j))
+			}
+			for _, k := range kids {
+				th.Join(k)
+			}
+		}
+	}
+	ft := New(Config{})
+	m := machine.New(machine.Config{Seed: 1, Detector: ft})
+	if err := m.Run(build(m)); err != nil {
+		t.Fatal(err)
+	}
+	perByte := float64(ft.MetadataBytes()) / 256
+	if perByte <= 4 {
+		t.Errorf("FastTrack metadata %.1f bytes/byte, expected > CLEAN's 4 on read-shared data", perByte)
+	}
+}
+
+func TestSameEpochFastPath(t *testing.T) {
+	d := New(Config{})
+	m := machine.New(machine.Config{Seed: 0, Detector: d})
+	a := m.AllocShared(8, 8)
+	err := m.Run(func(th *machine.Thread) {
+		for i := 0; i < 10; i++ {
+			th.StoreU64(a, uint64(i))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().SameEpochHits == 0 {
+		t.Error("repeated same-thread writes should hit the same-epoch fast path")
+	}
+}

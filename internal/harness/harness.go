@@ -1,0 +1,196 @@
+// Package harness drives the paper's evaluation (§6): one runner per
+// table and figure, each printing the same rows/series the paper reports.
+// cmd/cleanbench is a thin CLI over this package, and the repository-root
+// benchmarks wrap the same runners in testing.B.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+	"repro/internal/workloads"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale is the input scale; runners default it per the paper
+	// (native for software, simsmall for hardware) when zero-valued
+	// via their own logic, so set it only to override.
+	Scale workloads.Scale
+	// ScaleSet reports whether Scale was explicitly chosen.
+	ScaleSet bool
+	// Reps is the number of repetitions per measurement (the paper uses
+	// 10 for performance and 100 for the detection/determinism
+	// experiments; defaults here are smaller for iteration speed).
+	Reps int
+	// YieldEvery coarsens the machine's scheduling granularity for the
+	// wall-clock experiments (default 32); semantics are unaffected.
+	YieldEvery int
+	// Verbose adds per-run detail.
+	Verbose bool
+}
+
+func (o Options) reps(def int) int {
+	if o.Reps > 0 {
+		return o.Reps
+	}
+	return def
+}
+
+func (o Options) scale(def workloads.Scale) workloads.Scale {
+	if o.ScaleSet {
+		return o.Scale
+	}
+	return def
+}
+
+func (o Options) yieldEvery() int {
+	if o.YieldEvery > 0 {
+		return o.YieldEvery
+	}
+	return 32
+}
+
+// runCfg describes one software configuration of the machine.
+type runCfg struct {
+	detSync    bool
+	detector   func() machine.Detector // nil for none
+	layout     vclock.Layout
+	seed       int64
+	yieldEvery int
+	tracer     machine.Tracer
+}
+
+// runResult is one measured run.
+type runResult struct {
+	err      error
+	elapsed  time.Duration
+	stats    machine.Stats
+	hash     uint64
+	counters []uint64
+	detStats *core.Stats
+}
+
+// runWorkload executes one workload variant under cfg and measures it.
+func runWorkload(w workloads.Workload, scale workloads.Scale, variant workloads.Variant, cfg runCfg) runResult {
+	var det machine.Detector
+	if cfg.detector != nil {
+		det = cfg.detector()
+	}
+	m := machine.New(machine.Config{
+		Seed:       cfg.seed,
+		DetSync:    cfg.detSync,
+		Detector:   det,
+		Layout:     cfg.layout,
+		YieldEvery: cfg.yieldEvery,
+		Tracer:     cfg.tracer,
+	})
+	root, out := w.Build(m, scale, variant)
+	start := time.Now()
+	err := m.Run(root)
+	elapsed := time.Since(start)
+	res := runResult{
+		err:      err,
+		elapsed:  elapsed,
+		stats:    m.Stats(),
+		counters: m.FinalCounters(),
+	}
+	if err == nil {
+		res.hash = m.HashMem(out.Addr, out.Len)
+	}
+	if cd, ok := det.(*core.Detector); ok {
+		s := cd.Stats()
+		res.detStats = &s
+	}
+	return res
+}
+
+// cleanDetector returns a fresh CLEAN detector factory.
+func cleanDetector(cfg core.Config) func() machine.Detector {
+	return func() machine.Detector { return core.New(cfg) }
+}
+
+// meanSeconds runs fn reps times and returns the mean and 95% CI of the
+// elapsed seconds.
+func meanSeconds(reps int, fn func(rep int) time.Duration) (mean, ci float64) {
+	xs := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		xs = append(xs, fn(i).Seconds())
+	}
+	return stats.Mean(xs), stats.CI95(xs)
+}
+
+// perfSuite returns the benchmarks used for performance experiments: all
+// workloads with a modified (race-free) variant, per §6.1.
+func perfSuite() []workloads.Workload {
+	var out []workloads.Workload
+	for _, w := range workloads.All() {
+		if w.HasModified {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// hwSuite is perfSuite minus facesim, which §6.3.1 omits from simulation.
+func hwSuite() []workloads.Workload {
+	var out []workloads.Workload
+	for _, w := range perfSuite() {
+		if w.Name != "facesim" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// recordTrace runs a workload once with a trace recorder attached.
+func recordTrace(w workloads.Workload, scale workloads.Scale, seed int64) *trace.Trace {
+	rec := &trace.Recorder{}
+	res := runWorkload(w, scale, workloads.Modified, runCfg{seed: seed, yieldEvery: 16, tracer: rec})
+	if res.err != nil {
+		panic(fmt.Sprintf("harness: tracing %s failed: %v", w.Name, res.err))
+	}
+	return &rec.Trace
+}
+
+// Experiments maps experiment names to runners, in paper order.
+func Experiments() []struct {
+	Name string
+	Desc string
+	Run  func(w io.Writer, o Options) error
+} {
+	return []struct {
+		Name string
+		Desc string
+		Run  func(w io.Writer, o Options) error
+	}{
+		{"detect", "§6.2.2: racy benchmarks always raise a race exception", Detect},
+		{"determinism", "§6.2.2: race-free runs are exception-free and deterministic", Determinism},
+		{"fig6", "Fig. 6: software-only CLEAN slowdown breakdown", Fig6},
+		{"fig7", "Fig. 7: frequency of shared accesses", Fig7},
+		{"fig8", "Fig. 8: impact of the multi-byte (vectorization) optimization", Fig8},
+		{"table1", "Table 1: clock rollover frequency and cost", Table1},
+		{"fig9", "Fig. 9: hardware-supported race detection slowdown", Fig9},
+		{"fig10", "Fig. 10: breakdown of memory accesses", Fig10},
+		{"fig11", "Fig. 11: 1-byte and 4-byte epoch alternatives", Fig11},
+		{"ablation", "§7 claim: CLEAN vs FastTrack vs TSan-lite software detectors", Ablation},
+	}
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer, o Options) error {
+	for _, e := range Experiments() {
+		fmt.Fprintf(w, "==== %s — %s ====\n", e.Name, e.Desc)
+		if err := e.Run(w, o); err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

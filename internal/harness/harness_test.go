@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func testOpts() Options {
+	return Options{Scale: workloads.ScaleTest, ScaleSet: true, Reps: 2, YieldEvery: 8}
+}
+
+// TestExperimentsRunClean executes every experiment at test scale and
+// checks that none reports a violation of the paper's claims.
+func TestExperimentsRunClean(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, testOpts()); err != nil {
+				t.Fatalf("%s: %v\noutput:\n%s", e.Name, err, buf.String())
+			}
+			out := buf.String()
+			if strings.Contains(out, "WARNING") {
+				t.Errorf("%s reported a violation:\n%s", e.Name, out)
+			}
+			if len(strings.TrimSpace(out)) == 0 {
+				t.Errorf("%s produced no output", e.Name)
+			}
+		})
+	}
+}
+
+func TestExperimentRegistryNames(t *testing.T) {
+	want := []string{"detect", "determinism", "fig6", "fig7", "fig8", "table1", "fig9", "fig10", "fig11", "ablation"}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.Name != want[i] {
+			t.Errorf("experiment %d = %q, want %q", i, e.Name, want[i])
+		}
+	}
+}
+
+// TestDetectTableShowsAllRacy asserts the detection table covers every
+// racy benchmark and that all runs end in exceptions.
+func TestDetectTableShowsAllRacy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Detect(&buf, testOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range workloads.RacyNames() {
+		if !strings.Contains(out, name) {
+			t.Errorf("detect table missing %s", name)
+		}
+	}
+}
+
+// TestFig9SlowdownsPositive checks the hardware experiment's basic shape:
+// detection always costs something.
+func TestFig9SlowdownsPositive(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig9(&buf, testOpts()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("fig9 output too short:\n%s", buf.String())
+	}
+	for _, l := range lines[2:] {
+		fields := strings.Fields(l)
+		if len(fields) < 2 {
+			continue
+		}
+		if strings.HasPrefix(fields[1], "-") {
+			t.Errorf("negative slowdown in %q", l)
+		}
+	}
+}
+
+// TestHwSuiteOmitsFacesim mirrors §6.3.1.
+func TestHwSuiteOmitsFacesim(t *testing.T) {
+	for _, w := range hwSuite() {
+		if w.Name == "facesim" {
+			t.Fatal("facesim must be omitted from the hardware suite")
+		}
+	}
+	if len(hwSuite()) != len(perfSuite())-1 {
+		t.Fatalf("hwSuite size %d, want perfSuite-1 = %d", len(hwSuite()), len(perfSuite())-1)
+	}
+}
+
+// TestPerfSuiteOmitsCanneal: performance experiments use the modified
+// (race-free) suite, which canneal has no membership in (§6.1).
+func TestPerfSuiteOmitsCanneal(t *testing.T) {
+	for _, w := range perfSuite() {
+		if w.Name == "canneal" {
+			t.Fatal("canneal has no modified variant and must not be in the perf suite")
+		}
+	}
+	if len(perfSuite()) != 25 {
+		t.Fatalf("perfSuite size %d, want 25", len(perfSuite()))
+	}
+}

@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Detect reproduces the first §6.2.2 experiment: every unmodified racy
+// benchmark, run repeatedly (the paper: 100 times, simlarge), must always
+// end with a race exception. The table reports the exception kinds seen.
+func Detect(w io.Writer, o Options) error {
+	scale := o.scale(workloads.ScaleSimLarge)
+	reps := o.reps(20)
+	tb := stats.NewTable("benchmark", "runs", "exceptions", "WAW", "RAW")
+	for _, wl := range workloads.All() {
+		if !wl.Racy {
+			continue
+		}
+		var exceptions, waw, raw int
+		for rep := 0; rep < reps; rep++ {
+			r := runWorkload(wl, scale, workloads.Unmodified, runCfg{
+				seed: int64(rep), detSync: true,
+				detector: cleanDetector(core.Config{}),
+			})
+			var re *machine.RaceError
+			if errors.As(r.err, &re) {
+				exceptions++
+				switch re.Kind {
+				case machine.WAW:
+					waw++
+				case machine.RAW:
+					raw++
+				default:
+					return fmt.Errorf("detect: %s: CLEAN reported %v", wl.Name, re.Kind)
+				}
+			} else if r.err != nil {
+				return fmt.Errorf("detect: %s rep %d: unexpected error: %v", wl.Name, rep, r.err)
+			}
+		}
+		tb.AddRow(wl.Name, reps, exceptions, waw, raw)
+		if exceptions != reps {
+			fmt.Fprintf(w, "WARNING: %s completed %d/%d runs without an exception\n",
+				wl.Name, reps-exceptions, reps)
+		}
+	}
+	_, err := fmt.Fprint(w, tb.String())
+	return err
+}
+
+// Determinism reproduces the second §6.2.2 experiment: the modified
+// (race-free) benchmarks never raise exceptions and always produce the
+// same output, the same final deterministic counters, and the same shared
+// read/write counts, across different schedules.
+func Determinism(w io.Writer, o Options) error {
+	scale := o.scale(workloads.ScaleSimLarge)
+	reps := o.reps(20)
+	tb := stats.NewTable("benchmark", "runs", "exceptions", "deterministic")
+	for _, wl := range workloads.All() {
+		if !wl.HasModified {
+			continue
+		}
+		type fp struct {
+			hash     uint64
+			counters string
+			reads    uint64
+			writes   uint64
+		}
+		var ref fp
+		deterministic := true
+		exceptions := 0
+		for rep := 0; rep < reps; rep++ {
+			r := runWorkload(wl, scale, workloads.Modified, runCfg{
+				seed: int64(rep), detSync: true,
+				detector: cleanDetector(core.Config{}),
+			})
+			if r.err != nil {
+				exceptions++
+				continue
+			}
+			cur := fp{
+				hash:     r.hash,
+				counters: fmt.Sprint(r.counters),
+				reads:    r.stats.SharedReads,
+				writes:   r.stats.SharedWrites,
+			}
+			if rep == 0 {
+				ref = cur
+			} else if cur != ref {
+				deterministic = false
+				if o.Verbose {
+					fmt.Fprintf(w, "  %s rep %d diverged: %+v vs %+v\n", wl.Name, rep, cur, ref)
+				}
+			}
+		}
+		tb.AddRow(wl.Name, reps, exceptions, deterministic)
+		if exceptions > 0 || !deterministic {
+			fmt.Fprintf(w, "WARNING: %s violated the §6.2.2 expectation\n", wl.Name)
+		}
+	}
+	_, err := fmt.Fprint(w, tb.String())
+	return err
+}

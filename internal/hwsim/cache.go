@@ -1,0 +1,213 @@
+package hwsim
+
+// LineBytes is the cache line size throughout the hierarchy (§6.3.1).
+const LineBytes = 64
+
+// Latencies are the access costs in cycles of the paper's simulated
+// memory hierarchy (§6.3.1).
+type Latencies struct {
+	L1Hit       int
+	L2LocalHit  int
+	L2RemoteHit int
+	L3Hit       int
+	Memory      int
+}
+
+// DefaultLatencies are the paper's values: 1 / 10 / 15 / 35 / 120 cycles.
+var DefaultLatencies = Latencies{
+	L1Hit:       1,
+	L2LocalHit:  10,
+	L2RemoteHit: 15,
+	L3Hit:       35,
+	Memory:      120,
+}
+
+// cache is one set-associative LRU cache level, tracking tags only (the
+// simulator is timing + coherence, not data).
+type cache struct {
+	sets    [][]uint64 // each set holds line addresses in MRU-first order
+	ways    int
+	setMask uint64
+}
+
+func newCache(totalBytes, ways int) *cache {
+	nsets := totalBytes / LineBytes / ways
+	if nsets == 0 || nsets&(nsets-1) != 0 {
+		panic("hwsim: cache set count must be a power of two and non-zero")
+	}
+	return &cache{
+		sets:    make([][]uint64, nsets),
+		ways:    ways,
+		setMask: uint64(nsets - 1),
+	}
+}
+
+func (c *cache) set(line uint64) int { return int((line / LineBytes) & c.setMask) }
+
+// lookup reports whether line is present, refreshing its LRU position.
+func (c *cache) lookup(line uint64) bool {
+	s := c.sets[c.set(line)]
+	for i, tag := range s {
+		if tag == line {
+			copy(s[1:i+1], s[:i])
+			s[0] = line
+			return true
+		}
+	}
+	return false
+}
+
+// insert adds line (MRU), returning the evicted line if the set was full.
+func (c *cache) insert(line uint64) (evicted uint64, didEvict bool) {
+	idx := c.set(line)
+	s := c.sets[idx]
+	for i, tag := range s {
+		if tag == line {
+			copy(s[1:i+1], s[:i])
+			s[0] = line
+			return 0, false
+		}
+	}
+	if len(s) < c.ways {
+		s = append(s, 0)
+		copy(s[1:], s[:len(s)-1])
+		s[0] = line
+		c.sets[idx] = s
+		return 0, false
+	}
+	evicted = s[len(s)-1]
+	copy(s[1:], s[:len(s)-1])
+	s[0] = line
+	return evicted, true
+}
+
+// invalidate removes line if present.
+func (c *cache) invalidate(line uint64) {
+	idx := c.set(line)
+	s := c.sets[idx]
+	for i, tag := range s {
+		if tag == line {
+			c.sets[idx] = append(s[:i], s[i+1:]...)
+			return
+		}
+	}
+}
+
+// HierarchyStats counts where accesses were served.
+type HierarchyStats struct {
+	L1Hits        uint64
+	L2LocalHits   uint64
+	L2RemoteHits  uint64
+	L3Hits        uint64
+	MemAccesses   uint64
+	Invalidations uint64
+}
+
+// LLCMissRate returns the fraction of accesses served by memory — the
+// metric Fig. 11's discussion uses for ocean/radix.
+func (s HierarchyStats) LLCMissRate() float64 {
+	total := s.L1Hits + s.L2LocalHits + s.L2RemoteHits + s.L3Hits + s.MemAccesses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.MemAccesses) / float64(total)
+}
+
+// hierarchy is the 8-core MESI memory system of §6.3.1: private L1
+// (64KB 8-way) and L2 (256KB 8-way) per core, one shared L3 (16MB 16-way),
+// 64-byte lines.
+type hierarchy struct {
+	cores  int
+	l1, l2 []*cache
+	l3     *cache
+	// owners maps a line to the bitmask of cores holding it in their
+	// private hierarchy (the MESI sharer set); writer notes the single
+	// core with write permission.
+	owners map[uint64]uint32
+	lat    Latencies
+	stats  HierarchyStats
+}
+
+func newHierarchy(cores int, lat Latencies) *hierarchy {
+	h := &hierarchy{
+		cores:  cores,
+		l3:     newCache(16<<20, 16),
+		owners: make(map[uint64]uint32),
+		lat:    lat,
+	}
+	for i := 0; i < cores; i++ {
+		h.l1 = append(h.l1, newCache(64<<10, 8))
+		h.l2 = append(h.l2, newCache(256<<10, 8))
+	}
+	return h
+}
+
+// access simulates core touching the line containing addr and returns the
+// latency in cycles. Writes invalidate remote copies (MESI).
+func (h *hierarchy) access(core int, addr uint64, write bool) int {
+	line := addr &^ (LineBytes - 1)
+	bit := uint32(1) << core
+	var lat int
+	switch {
+	case h.l1[core].lookup(line):
+		h.stats.L1Hits++
+		lat = h.lat.L1Hit
+	case h.l2[core].lookup(line):
+		h.stats.L2LocalHits++
+		lat = h.lat.L2LocalHit
+		h.fillL1(core, line)
+	case h.owners[line]&^bit != 0:
+		h.stats.L2RemoteHits++
+		lat = h.lat.L2RemoteHit
+		h.fillPrivate(core, line)
+	case h.l3.lookup(line):
+		h.stats.L3Hits++
+		lat = h.lat.L3Hit
+		h.fillPrivate(core, line)
+	default:
+		h.stats.MemAccesses++
+		lat = h.lat.Memory
+		if ev, ok := h.l3.insert(line); ok {
+			_ = ev // L3 evictions are silent (memory-backed)
+		}
+		h.fillPrivate(core, line)
+	}
+	if write {
+		if others := h.owners[line] &^ bit; others != 0 {
+			// Invalidate every remote copy; the upgrade costs at
+			// least a remote round trip.
+			for c := 0; c < h.cores; c++ {
+				if others&(1<<c) != 0 {
+					h.l1[c].invalidate(line)
+					h.l2[c].invalidate(line)
+					h.stats.Invalidations++
+				}
+			}
+			h.owners[line] = bit
+			if lat < h.lat.L2RemoteHit {
+				lat = h.lat.L2RemoteHit
+			}
+		} else {
+			h.owners[line] = bit
+		}
+	} else {
+		h.owners[line] |= bit
+	}
+	return lat
+}
+
+func (h *hierarchy) fillL1(core int, line uint64) {
+	h.l1[core].insert(line)
+}
+
+func (h *hierarchy) fillPrivate(core int, line uint64) {
+	if ev, ok := h.l2[core].insert(line); ok {
+		// L2 eviction removes the core's copy entirely (L1 inclusive).
+		h.l1[core].invalidate(ev)
+		h.owners[ev] &^= 1 << core
+		if h.owners[ev] == 0 {
+			delete(h.owners, ev)
+		}
+	}
+	h.l1[core].insert(line)
+}

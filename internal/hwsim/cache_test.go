@@ -1,0 +1,119 @@
+package hwsim
+
+import "testing"
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache with 2 sets: lines 0 and 128 map to set 0 (stride 128).
+	c := newCache(4*LineBytes, 2)
+	c.insert(0)
+	c.insert(128)
+	if ev, did := c.insert(256); !did || ev != 0 {
+		t.Fatalf("insert(256) evicted (%d,%v), want LRU line 0", ev, did)
+	}
+	if !c.lookup(128) || !c.lookup(256) {
+		t.Fatal("recently used lines missing")
+	}
+	if c.lookup(0) {
+		t.Fatal("evicted line still present")
+	}
+}
+
+func TestCacheLookupRefreshesLRU(t *testing.T) {
+	c := newCache(4*LineBytes, 2)
+	c.insert(0)
+	c.insert(128)
+	c.lookup(0) // 0 becomes MRU; 128 is now LRU
+	if ev, did := c.insert(256); !did || ev != 128 {
+		t.Fatalf("evicted (%d,%v), want 128", ev, did)
+	}
+}
+
+func TestCacheSetsAreIndependent(t *testing.T) {
+	c := newCache(4*LineBytes, 2)
+	c.insert(0)   // set 0
+	c.insert(64)  // set 1
+	c.insert(128) // set 0
+	c.insert(192) // set 1
+	for _, line := range []uint64{0, 64, 128, 192} {
+		if !c.lookup(line) {
+			t.Fatalf("line %d missing; sets interfering", line)
+		}
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := newCache(4*LineBytes, 2)
+	c.insert(0)
+	c.invalidate(0)
+	if c.lookup(0) {
+		t.Fatal("invalidated line still present")
+	}
+	c.invalidate(64) // absent: must not panic
+}
+
+func TestHierarchyLatencyLadder(t *testing.T) {
+	h := newHierarchy(2, DefaultLatencies)
+	// Cold: memory.
+	if lat := h.access(0, 0, false); lat != 120 {
+		t.Fatalf("cold access = %d, want 120", lat)
+	}
+	// Now in core 0's L1.
+	if lat := h.access(0, 8, false); lat != 1 {
+		t.Fatalf("L1 hit = %d, want 1", lat)
+	}
+	// Core 1 reads the same line: remote private hit.
+	if lat := h.access(1, 0, false); lat != 15 {
+		t.Fatalf("remote hit = %d, want 15", lat)
+	}
+	// Fresh line for core 1 that is in L3 only: evict nothing yet —
+	// access a line core 0 fetched but core 1 never had... already
+	// shared; instead verify an L3 hit: fetch a line into core 0 only,
+	// then invalidate core 0's copy by a write from core 1 and re-read
+	// from core 0: served by core 1 remotely (15).
+	h.access(0, 4096, false)
+	if lat := h.access(1, 4096, true); lat != 15 {
+		t.Fatalf("write to remotely held line = %d, want 15 (fetch+invalidate)", lat)
+	}
+	if lat := h.access(0, 4096, false); lat != 15 {
+		t.Fatalf("read after remote invalidation = %d, want 15", lat)
+	}
+}
+
+func TestHierarchyWriteInvalidatesSharers(t *testing.T) {
+	h := newHierarchy(4, DefaultLatencies)
+	for c := 0; c < 4; c++ {
+		h.access(c, 0, false)
+	}
+	before := h.stats.Invalidations
+	h.access(0, 0, true)
+	if h.stats.Invalidations != before+3 {
+		t.Fatalf("invalidations = %d, want +3", h.stats.Invalidations-before)
+	}
+	// The sharers must re-fetch.
+	if lat := h.access(1, 0, false); lat == 1 {
+		t.Fatal("invalidated sharer still hit L1")
+	}
+}
+
+func TestHierarchyL2HitAfterL1Eviction(t *testing.T) {
+	h := newHierarchy(1, DefaultLatencies)
+	// L1: 64KB 8-way, 128 sets. Lines with stride 128*64 = 8KB collide
+	// in L1 set 0 but land in distinct L2 sets (L2 has 512 sets).
+	const stride = 128 * LineBytes
+	for i := 0; i < 9; i++ { // 9 > 8 ways: first line falls out of L1
+		h.access(0, uint64(i)*stride, false)
+	}
+	if lat := h.access(0, 0, false); lat != DefaultLatencies.L2LocalHit {
+		t.Fatalf("post-L1-eviction access = %d, want L2 hit %d", lat, DefaultLatencies.L2LocalHit)
+	}
+}
+
+func TestLLCMissRate(t *testing.T) {
+	h := newHierarchy(1, DefaultLatencies)
+	h.access(0, 0, false)    // memory
+	h.access(0, 0, false)    // L1
+	h.access(0, 4096, false) // memory
+	if got := h.stats.LLCMissRate(); got != 2.0/3.0 {
+		t.Fatalf("LLCMissRate = %v, want 2/3", got)
+	}
+}

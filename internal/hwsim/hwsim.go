@@ -1,0 +1,414 @@
+// Package hwsim is the trace-driven timing simulator for hardware-
+// supported CLEAN (§5, evaluated in §6.3).
+//
+// It replays a machine-recorded trace against the paper's 8-core memory
+// hierarchy (private 64KB L1 and 256KB L2, shared 16MB L3, 64-byte lines,
+// MESI, latencies 1/10/15/35/120 cycles) and models the CLEAN race-check
+// engine of Fig. 4 in parallel with each potentially shared access:
+//
+//   - the fast path that resolves an access by comparing the loaded epoch
+//     with the per-core cached main vector-clock element (sameThread /
+//     sameEpoch, Fig. 4b);
+//   - the slow paths that additionally load a vector-clock element from
+//     memory, update the epoch, or both;
+//   - the compact/expanded epoch line organization of Fig. 5, including
+//     the epoch-address miscalculation penalty and the cost of stretching
+//     a compact line into 4 expanded lines;
+//   - the two alternative metadata designs of Fig. 11 (1-byte epochs and
+//     4-byte epochs without compaction).
+//
+// Metadata accesses go through the same cache hierarchy as data, so the
+// cache-pressure effects the paper reports (ocean/radix under 4-byte
+// epochs) emerge from the model rather than being assumed.
+package hwsim
+
+import (
+	"repro/internal/shadow"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Fixed metadata address-space layout (Fig. 5a). Simulated program data
+// lives below 1<<41 (shared below 1<<40, private just above), so the
+// metadata regions never alias it.
+const (
+	epochCompactBase  = uint64(1) << 44 // compact region; also the 1B/4B schemes' base
+	epochExpandedBase = uint64(1) << 45 // expanded region (3 extra lines per data line)
+	vcBase            = uint64(1) << 46 // in-memory thread vector clocks
+	vcRowBytes        = 1024            // one thread's VC (256 entries × 4B)
+)
+
+// Scheme selects the metadata organization.
+type Scheme int
+
+// Metadata schemes evaluated in §6.3.
+const (
+	// SchemeNone performs no race detection: the Fig. 9 baseline.
+	SchemeNone Scheme = iota
+	// SchemeClean is CLEAN hardware: 4-byte epochs with the
+	// compact/expanded line organization of §5.3.
+	SchemeClean
+	// Scheme1Byte is Fig. 11's hypothetical 1-byte epoch upper bound:
+	// one 64B epoch line per data line, no compaction needed.
+	Scheme1Byte
+	// Scheme4Byte is Fig. 11's 4-byte epochs without compaction: four
+	// epoch lines per data line, always.
+	Scheme4Byte
+)
+
+var schemeNames = [...]string{"none", "clean", "epoch1B", "epoch4B"}
+
+func (s Scheme) String() string {
+	if int(s) < len(schemeNames) {
+		return schemeNames[s]
+	}
+	return "scheme?"
+}
+
+// Class is the race-check complexity classification of Fig. 10 (left
+// bars). Order matters: an access is assigned the highest class any of
+// its bytes requires.
+type Class int
+
+// Access classes, cheapest first.
+const (
+	ClassPrivate      Class = iota // no race detection work at all
+	ClassFast                      // resolved by the Fig. 4b fast path
+	ClassUpdate                    // epoch update, no VC load (same thread, newer clock)
+	ClassVCLoad                    // in-memory VC element load, no update
+	ClassVCLoadUpdate              // both
+	ClassExpand                    // triggered a compact→expanded transition
+	NumClasses
+)
+
+var classNames = [...]string{"private", "fast", "update", "VC load", "VC load & update", "expand"}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "class?"
+}
+
+// Config configures a simulation.
+type Config struct {
+	// Cores is the number of cores; 0 means 8 (the paper's machine).
+	Cores int
+	// Scheme is the metadata organization; SchemeNone is the baseline.
+	Scheme Scheme
+	// Lat overrides the hierarchy latencies; zero value means
+	// DefaultLatencies.
+	Lat Latencies
+	// SyncBase is the cycle cost of a synchronization operation with no
+	// detection (default 200: lock/unlock or barrier round trips through
+	// the coherence fabric).
+	SyncBase int
+	// SyncVCMaint is the extra cost per synchronization operation for
+	// software-maintained vector clocks when detection is on (the
+	// paper's 100 cycles, §6.3.1).
+	SyncVCMaint int
+	// StackRefFraction is the fraction of Work units (non-shared
+	// instructions) that are stack memory references. Pin classifies
+	// stack accesses as private (§6.3.1, "approximated by Pin as
+	// non-stack accesses"); they hit the L1 essentially always, so they
+	// cost the same 1 cycle as other instructions and matter only for
+	// the Fig. 10 access classification. Default 0.40.
+	StackRefFraction float64
+	// Layout is the epoch layout; zero value means vclock.DefaultLayout.
+	Layout vclock.Layout
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 {
+		c.Cores = 8
+	}
+	if c.Lat == (Latencies{}) {
+		c.Lat = DefaultLatencies
+	}
+	if c.SyncBase == 0 {
+		c.SyncBase = 200
+	}
+	if c.SyncVCMaint == 0 {
+		c.SyncVCMaint = 100
+	}
+	if c.StackRefFraction == 0 {
+		c.StackRefFraction = 0.40
+	}
+	if c.Layout == (vclock.Layout{}) {
+		c.Layout = vclock.DefaultLayout
+	}
+	return c
+}
+
+// Result reports a simulation's timing and the Fig. 10 breakdowns.
+type Result struct {
+	// Cycles is the simulated execution time: the maximum core cycle
+	// count (cores run the trace's per-core work concurrently).
+	Cycles uint64
+	// TotalCycles is the sum over cores — total machine work. The
+	// slowdown figures use this: the trace replay cannot model queue
+	// backpressure, which in a real pipelined run serializes every
+	// stage's overhead into the execution time, and for
+	// barrier-balanced programs the two metrics agree anyway.
+	TotalCycles uint64
+	// CoreCycles is the per-core accumulation.
+	CoreCycles []uint64
+	// SharedAccesses counts checked accesses; Classes breaks all
+	// accesses (including private) down per Fig. 10 left bars.
+	SharedAccesses uint64
+	TotalAccesses  uint64
+	Classes        [NumClasses]uint64
+	// CompactAccesses/ExpandedAccesses split shared accesses by the
+	// state of the accessed line (Fig. 10 right bars).
+	CompactAccesses  uint64
+	ExpandedAccesses uint64
+	// Expansions counts compact→expanded transitions.
+	Expansions uint64
+	// Hier reports cache behaviour.
+	Hier HierarchyStats
+}
+
+// ClassFraction returns the share of all accesses in class c.
+func (r Result) ClassFraction(c Class) float64 {
+	if r.TotalAccesses == 0 {
+		return 0
+	}
+	return float64(r.Classes[c]) / float64(r.TotalAccesses)
+}
+
+// simulator carries the per-run state.
+type simulator struct {
+	cfg    Config
+	hier   *hierarchy
+	epochs *shadow.Region // functional per-byte epoch values
+	// expanded records data lines in the expanded state (SchemeClean).
+	expanded map[uint64]bool
+	res      Result
+}
+
+// Simulate replays tr under cfg and returns the timing result.
+func Simulate(tr *trace.Trace, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	s := &simulator{
+		cfg:      cfg,
+		hier:     newHierarchy(cfg.Cores, cfg.Lat),
+		epochs:   shadow.New(),
+		expanded: make(map[uint64]bool),
+	}
+	s.res.CoreCycles = make([]uint64, cfg.Cores)
+	for _, ev := range tr.Events {
+		core := int(ev.TID) % cfg.Cores
+		switch ev.Kind {
+		case trace.Sync:
+			cost := uint64(cfg.SyncBase)
+			if cfg.Scheme != SchemeNone {
+				cost += uint64(cfg.SyncVCMaint)
+			}
+			s.res.CoreCycles[core] += cost
+		case trace.Work:
+			s.res.CoreCycles[core] += ev.Addr // 1 cycle per unit
+			// A fixed fraction of the instruction stream is stack
+			// references — private accesses in the Fig. 10 sense.
+			// Their timing is already in the per-unit cycle.
+			priv := uint64(float64(ev.Addr) * cfg.StackRefFraction)
+			s.res.TotalAccesses += priv
+			s.res.Classes[ClassPrivate] += priv
+		case trace.Read, trace.Write:
+			s.access(core, ev)
+		}
+	}
+	for _, c := range s.res.CoreCycles {
+		s.res.TotalCycles += c
+		if c > s.res.Cycles {
+			s.res.Cycles = c
+		}
+	}
+	s.res.Hier = s.hier.stats
+	return s.res
+}
+
+// access simulates one data access and, for shared data, the parallel
+// race check of Fig. 4.
+func (s *simulator) access(core int, ev trace.Event) {
+	s.res.TotalAccesses++
+	write := ev.Kind == trace.Write
+	// Data access latency, split at line boundaries like real hardware.
+	dataLat := 0
+	for addr, left := ev.Addr, int(ev.Size); left > 0; {
+		n := int(lineEnd(addr) - addr)
+		if n > left {
+			n = left
+		}
+		dataLat += s.hier.access(core, addr, write)
+		addr += uint64(n)
+		left -= n
+	}
+	if !ev.Shared || s.cfg.Scheme == SchemeNone {
+		if !ev.Shared {
+			s.res.Classes[ClassPrivate]++
+		}
+		s.res.CoreCycles[core] += uint64(dataLat)
+		return
+	}
+	s.res.SharedAccesses++
+	// Race check, per data-line piece; the whole access is classified by
+	// its most expensive piece, and the check runs in parallel with the
+	// data access so only the longer of the two is exposed (§5.4).
+	checkLat := 0
+	class := ClassFast
+	touchedExpanded := false
+	for addr, left := ev.Addr, int(ev.Size); left > 0; {
+		n := int(lineEnd(addr) - addr)
+		if n > left {
+			n = left
+		}
+		lat, cls, exp := s.checkPiece(core, ev, addr, n, write)
+		checkLat += lat
+		if cls > class {
+			class = cls
+		}
+		touchedExpanded = touchedExpanded || exp
+		addr += uint64(n)
+		left -= n
+	}
+	s.res.Classes[class]++
+	if s.cfg.Scheme == SchemeClean {
+		if touchedExpanded {
+			s.res.ExpandedAccesses++
+		} else {
+			s.res.CompactAccesses++
+		}
+	}
+	exposed := dataLat
+	if checkLat > exposed {
+		exposed = checkLat
+	}
+	s.res.CoreCycles[core] += uint64(exposed)
+}
+
+func lineEnd(addr uint64) uint64 { return (addr &^ (LineBytes - 1)) + LineBytes }
+
+// checkPiece models the race check for the bytes [addr, addr+n) of one
+// data line. It returns the check latency, the access class, and whether
+// the line was in (or entered) the expanded state.
+func (s *simulator) checkPiece(core int, ev trace.Event, addr uint64, n int, write bool) (int, Class, bool) {
+	l := s.cfg.Layout
+	cur := ev.Epoch(l)
+	// Functional outcome: inspect the stored epochs for the bytes.
+	sameThread, sameEpoch := true, true
+	for i := 0; i < n; i++ {
+		e := s.epochs.Load(addr + uint64(i))
+		if e != cur {
+			sameEpoch = false
+		}
+		if l.TID(e) != int(ev.TID) {
+			sameThread = false
+		}
+	}
+	prevEpoch := s.epochs.Load(addr) // representative for the VC-load address
+
+	// Metadata line accesses.
+	lineIdx := addr / LineBytes
+	var lat int
+	var expanded bool
+	needUpdate := write && !sameEpoch
+	switch s.cfg.Scheme {
+	case SchemeClean:
+		expanded = s.expanded[lineIdx]
+		// Hardware always computes the compact address first (§5.3).
+		lat += s.hier.access(core, epochCompactBase+lineIdx*LineBytes, needUpdate && !expanded)
+		if expanded {
+			// Miscalculation penalty: at least one extra cycle; the
+			// first expanded line reuses the compact slot, so only
+			// epochs past data offset 16 need further line accesses.
+			lat++
+			first := (addr % LineBytes) * 4 / LineBytes
+			last := ((addr%LineBytes)+uint64(n)-1)*4 + 3
+			lastLine := last / LineBytes
+			for li := first; li <= lastLine; li++ {
+				if li == 0 {
+					continue // already accessed via the compact slot
+				}
+				lat += s.hier.access(core, s.expandedLineAddr(lineIdx, li), needUpdate)
+			}
+		}
+	case Scheme1Byte:
+		lat += s.hier.access(core, epochCompactBase+lineIdx*LineBytes, needUpdate)
+	case Scheme4Byte:
+		first := (addr * 4) / LineBytes
+		last := (addr*4 + uint64(n)*4 - 1) / LineBytes
+		for li := first; li <= last; li++ {
+			lat += s.hier.access(core, epochCompactBase+li*LineBytes, needUpdate)
+		}
+	}
+
+	// Classification and the slow-path work (Fig. 4a).
+	class := ClassFast
+	if !sameThread {
+		// Load the needed element of the thread's in-memory VC.
+		vcAddr := vcBase + uint64(ev.TID)*vcRowBytes + uint64(l.TID(prevEpoch))*4
+		lat += s.hier.access(core, vcAddr, false)
+		if needUpdate {
+			class = ClassVCLoadUpdate
+		} else {
+			class = ClassVCLoad
+		}
+	} else if needUpdate {
+		class = ClassUpdate
+	}
+
+	// Expansion check and functional epoch update.
+	if needUpdate {
+		if s.cfg.Scheme == SchemeClean && !expanded && s.writeBreaksGroups(addr, n, cur) {
+			class = ClassExpand
+			s.expanded[lineIdx] = true
+			s.res.Expansions++
+			expanded = true
+			// Stretching: 1 cycle plus writing all 4 expanded lines
+			// (§6.3.1).
+			lat++
+			lat += s.hier.access(core, epochCompactBase+lineIdx*LineBytes, true)
+			for li := uint64(1); li < 4; li++ {
+				lat += s.hier.access(core, s.expandedLineAddr(lineIdx, li), true)
+			}
+		}
+		s.epochs.StoreRange(addr, n, cur)
+	}
+	return lat, class, expanded
+}
+
+// expandedLineAddr returns the address of expanded epoch line li (1..3)
+// for data line lineIdx; line 0 lives at the compact slot (Fig. 5c).
+func (s *simulator) expandedLineAddr(lineIdx, li uint64) uint64 {
+	return epochExpandedBase + lineIdx*(3*LineBytes) + (li-1)*LineBytes
+}
+
+// writeBreaksGroups reports whether writing epoch cur to [addr, addr+n)
+// leaves some 4-byte group holding two different epochs — the condition
+// that forces a compact line to expand (§5.3).
+func (s *simulator) writeBreaksGroups(addr uint64, n int, cur vclock.Epoch) bool {
+	start := addr &^ 3
+	end := (addr + uint64(n) + 3) &^ 3
+	for g := start; g < end; g += 4 {
+		for b := g; b < g+4; b++ {
+			var e vclock.Epoch
+			if b >= addr && b < addr+uint64(n) {
+				e = cur
+			} else {
+				e = s.epochs.Load(b)
+			}
+			if e != s.groupValue(g, addr, n, cur) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// groupValue returns the epoch of group g's first byte after the write.
+func (s *simulator) groupValue(g, addr uint64, n int, cur vclock.Epoch) vclock.Epoch {
+	if g >= addr && g < addr+uint64(n) {
+		return cur
+	}
+	return s.epochs.Load(g)
+}

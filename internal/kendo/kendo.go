@@ -1,0 +1,76 @@
+// Package kendo implements the deterministic-synchronization algorithm of
+// Olszewski, Ansel and Amarasinghe's Kendo, which CLEAN adopts (§2.4, §3.3)
+// to order all synchronization operations deterministically.
+//
+// Each thread maintains a deterministic progress counter that advances only
+// with the thread's own executed operations, never with wall-clock time. A
+// thread may perform a synchronization operation only while its counter is
+// the strict minimum across all participating threads, with thread id
+// breaking ties. Because counters are schedule-independent and every
+// synchronization operation is performed at a unique (counter, id) point,
+// the total order of synchronization — and with CLEAN's race exceptions,
+// every value read — is the same in every execution.
+//
+// The package is pure algorithm: it sees threads through the Runtime
+// interface and owns no scheduling machinery, so its turn-taking and
+// counter-assignment rules are unit-testable in isolation. The machine
+// package wires it into the simulated scheduler.
+package kendo
+
+// Runtime is the view of the thread system Kendo needs: per-thread
+// deterministic counters, participation status, and a way to give up the
+// processor while waiting for the turn.
+type Runtime interface {
+	// Threads returns the ids of all threads ever started.
+	Threads() []int
+	// Counter returns the deterministic counter of thread tid.
+	Counter(tid int) uint64
+	// Participating reports whether tid competes for the turn: started,
+	// not finished, and not suspended in a blocking wait (a thread parked
+	// in a condition wait or join is deterministically re-inserted when
+	// woken, per WakeCounter).
+	Participating(tid int) bool
+	// Yield relinquishes the processor so other threads can advance their
+	// counters; the caller re-checks its turn when scheduled again.
+	Yield()
+}
+
+// IsTurn reports whether thread tid currently holds the deterministic turn:
+// its counter is ≤ every participating thread's counter, and strictly less
+// than the counter of every participating thread with a smaller id.
+func IsTurn(rt Runtime, tid int) bool {
+	mine := rt.Counter(tid)
+	for _, other := range rt.Threads() {
+		if other == tid || !rt.Participating(other) {
+			continue
+		}
+		c := rt.Counter(other)
+		if c < mine || (c == mine && other < tid) {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitForTurn spins (yielding the processor) until tid holds the turn.
+// Progress: every participating thread either advances its counter with its
+// own work or is itself waiting for the turn; the thread with the global
+// minimum (counter, id) always passes.
+func WaitForTurn(rt Runtime, tid int) {
+	for !IsTurn(rt, tid) {
+		rt.Yield()
+	}
+}
+
+// WakeCounter returns the deterministic counter a thread resumes with after
+// being woken from a blocking wait (condition wait, join, barrier). The
+// woken thread must be ordered after the waking event, so it resumes just
+// past the maximum of its own counter and the waker's counter at the wake
+// point. The waking operation itself was performed at a deterministic
+// (counter, id), so the result is schedule-independent.
+func WakeCounter(own, waker uint64) uint64 {
+	if waker > own {
+		return waker + 1
+	}
+	return own + 1
+}

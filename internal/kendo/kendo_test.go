@@ -1,0 +1,166 @@
+package kendo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fakeRT is a Runtime over explicit counter/participation tables.
+type fakeRT struct {
+	counters []uint64
+	parts    []bool
+	yields   int
+}
+
+func (f *fakeRT) Threads() []int {
+	ids := make([]int, len(f.counters))
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+func (f *fakeRT) Counter(tid int) uint64     { return f.counters[tid] }
+func (f *fakeRT) Participating(tid int) bool { return f.parts[tid] }
+func (f *fakeRT) Yield()                     { f.yields++ }
+
+func allTrue(n int) []bool {
+	b := make([]bool, n)
+	for i := range b {
+		b[i] = true
+	}
+	return b
+}
+
+func TestIsTurnStrictMinimum(t *testing.T) {
+	rt := &fakeRT{counters: []uint64{5, 3, 7}, parts: allTrue(3)}
+	if IsTurn(rt, 0) {
+		t.Error("thread 0 (counter 5) must not have the turn")
+	}
+	if !IsTurn(rt, 1) {
+		t.Error("thread 1 (counter 3, minimum) must have the turn")
+	}
+	if IsTurn(rt, 2) {
+		t.Error("thread 2 (counter 7) must not have the turn")
+	}
+}
+
+func TestIsTurnTieBrokenByID(t *testing.T) {
+	rt := &fakeRT{counters: []uint64{4, 4, 4}, parts: allTrue(3)}
+	if !IsTurn(rt, 0) {
+		t.Error("lowest id must win the tie")
+	}
+	if IsTurn(rt, 1) || IsTurn(rt, 2) {
+		t.Error("higher ids must lose the tie")
+	}
+}
+
+func TestIsTurnIgnoresNonParticipants(t *testing.T) {
+	rt := &fakeRT{counters: []uint64{9, 1, 2}, parts: []bool{true, false, true}}
+	// Thread 1 has the minimum counter but is suspended; thread 2 holds
+	// the turn among participants {0, 2}.
+	if !IsTurn(rt, 2) {
+		t.Error("thread 2 must hold the turn when thread 1 is suspended")
+	}
+	if IsTurn(rt, 0) {
+		t.Error("thread 0 must wait for thread 2")
+	}
+}
+
+func TestIsTurnSingleThread(t *testing.T) {
+	rt := &fakeRT{counters: []uint64{42}, parts: allTrue(1)}
+	if !IsTurn(rt, 0) {
+		t.Error("a lone thread always holds the turn")
+	}
+}
+
+// Property: exactly one participating thread holds the turn, for any
+// counter assignment with at least one participant.
+func TestExactlyOneTurnHolderProperty(t *testing.T) {
+	f := func(counters []uint64, partBits uint16) bool {
+		n := len(counters)
+		if n == 0 || n > 16 {
+			return true
+		}
+		parts := make([]bool, n)
+		any := false
+		for i := range parts {
+			parts[i] = partBits&(1<<i) != 0
+			any = any || parts[i]
+		}
+		if !any {
+			parts[0] = true
+		}
+		rt := &fakeRT{counters: counters, parts: parts}
+		holders := 0
+		for tid := 0; tid < n; tid++ {
+			if parts[tid] && IsTurn(rt, tid) {
+				holders++
+			}
+		}
+		return holders == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWaitForTurnYieldsUntilMinimum(t *testing.T) {
+	rt := &fakeRT{counters: []uint64{5, 3}, parts: allTrue(2)}
+	done := make(chan struct{})
+	// Simulate thread 1 advancing past thread 0 on each yield.
+	yieldCount := 0
+	rtYield := &yieldingRT{fakeRT: rt, onYield: func() {
+		yieldCount++
+		rt.counters[1] += 3 // other thread catches up and passes
+	}}
+	go func() {
+		WaitForTurn(rtYield, 0)
+		close(done)
+	}()
+	<-done
+	if yieldCount == 0 {
+		t.Error("thread 0 should have yielded at least once")
+	}
+	if !IsTurn(rt, 0) {
+		t.Error("after WaitForTurn returns, the thread must hold the turn")
+	}
+}
+
+type yieldingRT struct {
+	*fakeRT
+	onYield func()
+}
+
+func (y *yieldingRT) Yield() { y.onYield() }
+
+func TestWakeCounter(t *testing.T) {
+	tests := []struct {
+		own, waker, want uint64
+	}{
+		{0, 0, 1},
+		{5, 3, 6},
+		{3, 5, 6},
+		{7, 7, 8},
+	}
+	for _, tt := range tests {
+		if got := WakeCounter(tt.own, tt.waker); got != tt.want {
+			t.Errorf("WakeCounter(%d,%d) = %d, want %d", tt.own, tt.waker, got, tt.want)
+		}
+	}
+}
+
+// Property: the woken thread is strictly ordered after both its own past
+// and the waking event.
+func TestWakeCounterOrderingProperty(t *testing.T) {
+	f := func(own, waker uint64) bool {
+		// Avoid overflow wrap in the property itself.
+		if own > 1<<62 || waker > 1<<62 {
+			return true
+		}
+		w := WakeCounter(own, waker)
+		return w > own && w > waker
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,438 @@
+// Package machine simulates the multithreaded shared-memory machine CLEAN
+// runs on: logical threads written against a Pthread-like API, interleaved
+// one-at-a-time by a seeded cooperative scheduler over a simulated
+// byte-addressable address space.
+//
+// The paper's software implementation intercepts every potentially shared
+// access of a native binary via compiler instrumentation (§4.1); a Go
+// reproduction cannot instrument goroutine memory traffic, so the machine
+// makes the interception structural instead: every access flows through
+// Thread.Load/Store, which classify it (shared vs private), feed it to the
+// configured race Detector, count it, and optionally record it to a Tracer
+// for the hardware simulator.
+//
+// The seeded scheduler supplies the controlled nondeterminism the paper's
+// execution model is about: with different seeds, a racy read/write pair
+// resolves sometimes as RAW (CLEAN raises a race exception) and sometimes
+// as WAR (the execution completes); with deterministic synchronization
+// enabled (Kendo, §3.3) every completed execution yields identical results
+// regardless of seed.
+package machine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"repro/internal/kendo"
+	"repro/internal/memory"
+	"repro/internal/vclock"
+)
+
+// Detector is the race-detection hook the machine calls on every shared
+// access. internal/core implements CLEAN; internal/fasttrack and
+// internal/tsanlite implement the comparison baselines.
+type Detector interface {
+	// Name identifies the detector in reports.
+	Name() string
+	// OnAccess checks one shared access. A non-nil error (typically
+	// *RaceError) stops the machine: the paper's race exception.
+	OnAccess(t *Thread, addr uint64, size int, write bool) error
+	// Reset discards all per-location metadata. Called by the
+	// deterministic clock-rollover reset (§4.5).
+	Reset()
+}
+
+// SyncEvent classifies synchronization operations for tracing.
+type SyncEvent int
+
+// Synchronization event kinds recorded by a Tracer.
+const (
+	SyncAcquire SyncEvent = iota
+	SyncRelease
+	SyncBarrier
+	SyncSpawn
+	SyncJoin
+	SyncSignal
+	SyncCondWait
+)
+
+var syncEventNames = [...]string{"acquire", "release", "barrier", "spawn", "join", "signal", "condwait"}
+
+func (e SyncEvent) String() string {
+	if int(e) < len(syncEventNames) {
+		return syncEventNames[e]
+	}
+	return fmt.Sprintf("sync(%d)", int(e))
+}
+
+// Tracer receives the machine's dynamic event stream. The hardware
+// simulator consumes traces recorded through this interface. clock is the
+// accessing thread's main vector-clock element at the access — together
+// with tid it is the thread's current epoch, which is all the hardware
+// race-check model needs to reconstruct metadata state at replay time.
+type Tracer interface {
+	Access(tid int, addr uint64, size int, write, shared bool, clock uint32)
+	Sync(tid int, kind SyncEvent, obj uint64)
+	// Work records n units of private computation (non-memory
+	// instructions, 1 cycle each in the paper's simple-core model).
+	Work(tid int, n int)
+}
+
+// Config configures a Machine.
+type Config struct {
+	// Seed drives the scheduler's interleaving choices.
+	Seed int64
+	// DetSync enables Kendo deterministic synchronization (§3.3).
+	DetSync bool
+	// Detector, if non-nil, checks every shared access.
+	Detector Detector
+	// Layout is the epoch bit layout; zero value means
+	// vclock.DefaultLayout (23-bit clock, 8-bit tid).
+	Layout vclock.Layout
+	// Tracer, if non-nil, records the event stream.
+	Tracer Tracer
+	// YieldEvery is the number of operations a thread executes between
+	// scheduling points; 0 or 1 yields at every operation (finest
+	// interleaving). Larger values coarsen interleavings and speed up
+	// long runs without changing detector semantics.
+	YieldEvery int
+	// Picker, if non-nil, replaces the seeded random scheduling policy:
+	// at every scheduling point it receives the runnable threads in
+	// ascending id order and returns the index to dispatch. The
+	// exhaustive-exploration checker (internal/explore) drives runs
+	// through this hook.
+	Picker func(runnable []*Thread) int
+}
+
+// Stats aggregates the counters the evaluation section reports.
+type Stats struct {
+	SharedReads     uint64
+	SharedWrites    uint64
+	PrivateAccesses uint64
+	SyncOps         uint64
+	Ops             uint64    // total deterministic events (instruction proxy)
+	AccessBySize    [9]uint64 // shared accesses indexed by size in bytes
+	Rollovers       uint64    // clock-rollover resets performed (§4.5)
+	DetWaitYields   uint64    // scheduler yields spent waiting for the Kendo turn
+	Steps           uint64    // scheduler dispatches
+}
+
+// SharedAccesses returns the total number of instrumented accesses.
+func (s Stats) SharedAccesses() uint64 { return s.SharedReads + s.SharedWrites }
+
+// Machine is a simulated shared-memory multiprocessor run.
+// Create with New, populate via Run; a Machine is single-use.
+type Machine struct {
+	cfg    Config
+	layout vclock.Layout
+	mem    *memory.Memory
+	rng    *rand.Rand
+
+	threads  []*Thread // dense slot per live tid; nil when never used
+	freeTIDs []int     // reusable ids of joined threads (§4.5), kept sorted
+	nextTID  int
+	liveID   int // monotone spawn sequence, for diagnostics
+
+	yielded chan *Thread
+
+	stopErr      error
+	resetPending bool
+
+	locks    []*Mutex
+	barriers []*Barrier
+
+	nextObjID uint64
+
+	stats         Stats
+	finalCounters map[int]uint64 // final det counter per spawn sequence number
+}
+
+// New returns a machine ready to Run.
+func New(cfg Config) *Machine {
+	if cfg.Layout == (vclock.Layout{}) {
+		cfg.Layout = vclock.DefaultLayout
+	}
+	if err := cfg.Layout.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.YieldEvery < 1 {
+		cfg.YieldEvery = 1
+	}
+	return &Machine{
+		cfg:           cfg,
+		layout:        cfg.Layout,
+		mem:           memory.New(),
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		yielded:       make(chan *Thread),
+		finalCounters: make(map[int]uint64),
+	}
+}
+
+// Layout returns the epoch layout the machine was configured with.
+func (m *Machine) Layout() vclock.Layout { return m.layout }
+
+// Mem exposes the simulated memory for allocation and post-run inspection.
+func (m *Machine) Mem() *memory.Memory { return m.mem }
+
+// Stats returns the counters accumulated so far.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// FinalCounters returns the deterministic counters of all finished threads
+// ordered by spawn sequence. Under deterministic synchronization this
+// sequence is identical across runs; the §6.2.2 determinism experiment
+// compares it.
+func (m *Machine) FinalCounters() []uint64 {
+	seqs := make([]int, 0, len(m.finalCounters))
+	for seq := range m.finalCounters {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	out := make([]uint64, 0, len(seqs))
+	for _, seq := range seqs {
+		out = append(out, m.finalCounters[seq])
+	}
+	return out
+}
+
+// AllocShared reserves n bytes of shared (instrumented) memory.
+func (m *Machine) AllocShared(n, align int) uint64 { return m.mem.Alloc(n, true, align) }
+
+// AllocPrivate reserves n bytes of private (never instrumented) memory.
+func (m *Machine) AllocPrivate(n, align int) uint64 { return m.mem.Alloc(n, false, align) }
+
+// HashMem returns a FNV-1a hash of the n bytes at addr, used to compare
+// program outputs across runs in the determinism experiments.
+func (m *Machine) HashMem(addr uint64, n int) uint64 {
+	h := fnv.New64a()
+	var buf [1]byte
+	for i := 0; i < n; i++ {
+		buf[0] = byte(m.mem.Load(addr+uint64(i), 1))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Run executes root as thread 0 and schedules all threads it spawns until
+// every thread finishes or the execution stops. It returns nil for a
+// completed execution, a *RaceError when the detector raised a race
+// exception, or a *DeadlockError when no thread can make progress.
+func (m *Machine) Run(root func(*Thread)) error {
+	t0 := m.newThread(root)
+	// Start every clock at 1: a zero clock would make a thread's writes
+	// indistinguishable from the "never written" zero epoch and hide
+	// races on them. Spawned threads get this via the tick in Spawn.
+	m.tickClock(t0)
+	t0.state = stateRunnable
+	m.startGoroutine(t0)
+	for {
+		t := m.pick()
+		if t == nil {
+			if m.allFinished() {
+				break
+			}
+			if m.stopErr == nil && m.resetPending {
+				m.performReset()
+				continue
+			}
+			if m.stopErr == nil {
+				m.stopErr = m.deadlockError()
+			}
+			m.forceUnblockAll()
+			continue
+		}
+		m.stats.Steps++
+		t.resume <- struct{}{}
+		<-m.yielded
+		if m.stopErr != nil {
+			m.forceUnblockAll()
+		}
+	}
+	return m.stopErr
+}
+
+// pick selects the next runnable thread under the seeded policy, first
+// waking any deterministic-turn waiter that now holds the turn (or, with a
+// reset pending, every waiter, so it can park at the rendezvous).
+func (m *Machine) pick() *Thread {
+	m.wakeDetWaiters()
+	var runnable []*Thread
+	for _, t := range m.threads {
+		if t != nil && t.state == stateRunnable {
+			runnable = append(runnable, t)
+		}
+	}
+	if len(runnable) == 0 {
+		return nil
+	}
+	if m.cfg.Picker != nil {
+		i := m.cfg.Picker(runnable)
+		if i < 0 || i >= len(runnable) {
+			panic(fmt.Sprintf("machine: Picker returned %d of %d runnable", i, len(runnable)))
+		}
+		return runnable[i]
+	}
+	return runnable[m.rng.Intn(len(runnable))]
+}
+
+// wakeDetWaiters resumes deterministic-turn waiters that can make
+// progress: the unique turn holder, or all of them when a rollover reset
+// needs everyone parked.
+func (m *Machine) wakeDetWaiters() {
+	for _, t := range m.threads {
+		if t == nil || t.state != stateDetWait {
+			continue
+		}
+		if m.resetPending || kendo.IsTurn(kendoRT{m: m, t: t}, t.ID) {
+			t.state = stateRunnable
+		}
+	}
+}
+
+func (m *Machine) allFinished() bool {
+	for _, t := range m.threads {
+		if t != nil && t.state != stateFinished {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Machine) deadlockError() error {
+	var blocked []int
+	for _, t := range m.threads {
+		if t != nil && t.state != stateFinished {
+			blocked = append(blocked, t.ID)
+		}
+	}
+	sort.Ints(blocked)
+	return &DeadlockError{Blocked: blocked}
+}
+
+// forceUnblockAll makes every unfinished thread runnable so it can observe
+// the stop condition at its next scheduling point and unwind.
+func (m *Machine) forceUnblockAll() {
+	for _, t := range m.threads {
+		if t != nil && t.state != stateFinished {
+			t.state = stateRunnable
+		}
+	}
+}
+
+// stop records the first stopping error.
+func (m *Machine) stop(err error) {
+	if m.stopErr == nil {
+		m.stopErr = err
+	}
+}
+
+// performReset is the deterministic metadata reset of §4.5: it runs when
+// every unfinished thread is parked at a synchronization boundary (or
+// blocked, which is also an SFR boundary). It zeroes all epochs, all thread
+// vector clocks, and all lock vector clocks, then resumes execution.
+// Deterministic counters are NOT reset — Kendo's order is unaffected.
+func (m *Machine) performReset() {
+	if d := m.cfg.Detector; d != nil {
+		d.Reset()
+	}
+	for _, t := range m.threads {
+		if t == nil {
+			continue
+		}
+		t.VC.Reset()
+		t.wakeVC = vclock.VC{}
+	}
+	for _, l := range m.locks {
+		l.vc.Reset()
+	}
+	for _, b := range m.barriers {
+		b.vc.Reset()
+	}
+	m.stats.Rollovers++
+	m.resetPending = false
+	for _, t := range m.threads {
+		if t == nil || t.state == stateFinished {
+			continue
+		}
+		// Restart clocks at 1, not 0, for the same reason Run does:
+		// epoch (tid, 0) must stay reserved for "never written".
+		t.VC.Tick(t.ID)
+		if t.state == stateParked {
+			t.state = stateRunnable
+		}
+	}
+}
+
+// tickClock advances t's main vector-clock element (done on release-type
+// synchronization operations) and requests a rollover reset when the clock
+// reaches the layout's limit.
+func (m *Machine) tickClock(t *Thread) {
+	if t.VC.Tick(t.ID) >= m.layout.MaxClock() {
+		m.resetPending = true
+	}
+}
+
+func (m *Machine) newThread(fn func(*Thread)) *Thread {
+	var tid int
+	if len(m.freeTIDs) > 0 {
+		tid = m.freeTIDs[0]
+		m.freeTIDs = m.freeTIDs[1:]
+	} else {
+		tid = m.nextTID
+		m.nextTID++
+	}
+	if tid > m.layout.MaxTID() {
+		panic(fmt.Sprintf("machine: thread id %d exceeds layout capacity %d", tid, m.layout.MaxTID()))
+	}
+	t := &Thread{
+		ID:     tid,
+		Seq:    m.liveID,
+		m:      m,
+		fn:     fn,
+		resume: make(chan struct{}),
+		state:  stateNew,
+	}
+	m.liveID++
+	for len(m.threads) <= tid {
+		m.threads = append(m.threads, nil)
+	}
+	m.threads[tid] = t
+	return t
+}
+
+// startGoroutine launches t's goroutine; it waits for its first dispatch.
+func (m *Machine) startGoroutine(t *Thread) {
+	go func() {
+		<-t.resume
+		defer func() {
+			if r := recover(); r != nil && r != stopToken {
+				m.stop(fmt.Errorf("machine: thread %d panicked: %v", t.ID, r))
+			}
+			t.state = stateFinished
+			m.finalCounters[t.Seq] = t.DetCounter
+			for _, j := range t.joiners {
+				if j.state == stateBlocked {
+					j.state = stateRunnable
+				}
+			}
+			t.joiners = nil
+			m.yielded <- t
+		}()
+		if m.stopErr != nil {
+			panic(stopToken)
+		}
+		t.fn(t)
+	}()
+}
+
+func (m *Machine) trace(tid int, kind SyncEvent, obj uint64) {
+	if m.cfg.Tracer != nil {
+		m.cfg.Tracer.Sync(tid, kind, obj)
+	}
+}
+
+func (m *Machine) objID() uint64 {
+	m.nextObjID++
+	return m.nextObjID
+}

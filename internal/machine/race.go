@@ -1,0 +1,61 @@
+package machine
+
+import "fmt"
+
+// RaceKind classifies a data race by the order in which the two conflicting
+// accesses executed (§2.1).
+type RaceKind int
+
+// The three classical race types. CLEAN raises exceptions for WAW and RAW
+// only; WAR is deliberately undetected (§3.1).
+const (
+	WAW RaceKind = iota // write-after-write
+	RAW                 // read-after-write
+	WAR                 // write-after-read
+)
+
+var raceKindNames = [...]string{"WAW", "RAW", "WAR"}
+
+func (k RaceKind) String() string {
+	if int(k) < len(raceKindNames) {
+		return raceKindNames[k]
+	}
+	return fmt.Sprintf("race(%d)", int(k))
+}
+
+// RaceError is the race exception of the CLEAN execution model (§3.1): it
+// stops the machine at the access that completed the race.
+type RaceError struct {
+	// Kind is the race type (WAW or RAW for CLEAN; FastTrack also
+	// reports WAR).
+	Kind RaceKind
+	// Addr and Size locate the access that raised the exception.
+	Addr uint64
+	Size int
+	// TID is the thread performing the racing access; SFR its
+	// synchronization-free-region index at the time.
+	TID int
+	SFR uint64
+	// PrevTID and PrevClock describe the earlier conflicting access
+	// recorded in the metadata (the epoch of the last write, or for a
+	// FastTrack WAR report the racing reader).
+	PrevTID   int
+	PrevClock uint32
+	// Detector names the detector that raised the exception.
+	Detector string
+}
+
+func (e *RaceError) Error() string {
+	return fmt.Sprintf("%s: %v race at %#x (%d bytes): thread %d conflicts with thread %d@%d",
+		e.Detector, e.Kind, e.Addr, e.Size, e.TID, e.PrevTID, e.PrevClock)
+}
+
+// DeadlockError reports that no thread could make progress.
+type DeadlockError struct {
+	// Blocked lists the ids of the unfinished threads.
+	Blocked []int
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("machine: deadlock: threads %v blocked", e.Blocked)
+}

@@ -1,0 +1,154 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocDisjointRegions(t *testing.T) {
+	m := New()
+	s := m.Alloc(16, true, 8)
+	p := m.Alloc(16, false, 8)
+	if !IsShared(s) {
+		t.Errorf("shared alloc at %#x classified private", s)
+	}
+	if IsShared(p) {
+		t.Errorf("private alloc at %#x classified shared", p)
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	m := New()
+	m.Alloc(3, true, 1)
+	a := m.Alloc(8, true, 64)
+	if a%64 != 0 {
+		t.Fatalf("aligned alloc at %#x, want 64-byte aligned", a)
+	}
+	m.Alloc(1, false, 1)
+	b := m.Alloc(4, false, 16)
+	if (b-PrivateBase)%16 != 0 {
+		t.Fatalf("private aligned alloc at offset %#x, want 16-byte aligned", b-PrivateBase)
+	}
+}
+
+func TestAllocZeroed(t *testing.T) {
+	m := New()
+	a := m.Alloc(8, true, 8)
+	if v := m.Load(a, 8); v != 0 {
+		t.Fatalf("fresh allocation reads %d, want 0", v)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New()
+	a := m.Alloc(32, true, 8)
+	tests := []struct {
+		size int
+		val  uint64
+	}{
+		{1, 0xAB},
+		{2, 0xBEEF},
+		{4, 0xDEADBEEF},
+		{8, 0x0123456789ABCDEF},
+	}
+	for _, tt := range tests {
+		m.Store(a, tt.size, tt.val)
+		if got := m.Load(a, tt.size); got != tt.val {
+			t.Errorf("size %d: Load = %#x, want %#x", tt.size, got, tt.val)
+		}
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := New()
+	a := m.Alloc(8, true, 8)
+	m.Store(a, 4, 0x04030201)
+	for i := uint64(0); i < 4; i++ {
+		if got := m.Load(a+i, 1); got != i+1 {
+			t.Fatalf("byte %d = %#x, want %#x", i, got, i+1)
+		}
+	}
+}
+
+func TestTornWriteVisibleAtByteGranularity(t *testing.T) {
+	// This is the scenario of Fig. 1b: a 64-bit store done as two 32-bit
+	// halves. The memory itself permits it; CLEAN's job is to detect the
+	// race that allows it to be observed.
+	m := New()
+	a := m.Alloc(8, true, 8)
+	m.Store(a+4, 4, 0x1) // high half of 0x100000000
+	m.Store(a, 4, 0x1)   // low half of 0x1
+	if got := m.Load(a, 8); got != 0x100000001 {
+		t.Fatalf("torn value = %#x, want 0x100000001", got)
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	m := New()
+	m.Alloc(4, true, 1)
+	for _, tt := range []struct {
+		name string
+		f    func()
+	}{
+		{"shared past end", func() { m.Load(2, 4) }},
+		{"private unallocated", func() { m.Load(PrivateBase, 1) }},
+		{"bad size", func() { a := m.Alloc(8, true, 1); m.Load(a, 3) }},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tt.f()
+		})
+	}
+}
+
+func TestAllocGrowth(t *testing.T) {
+	m := New()
+	var addrs []Addr
+	for i := 0; i < 100; i++ {
+		addrs = append(addrs, m.Alloc(100, true, 8))
+	}
+	for i, a := range addrs {
+		m.Store(a, 4, uint64(i))
+	}
+	for i, a := range addrs {
+		if got := m.Load(a, 4); got != uint64(i) {
+			t.Fatalf("allocation %d corrupted: %d", i, got)
+		}
+	}
+}
+
+// Property: values written survive arbitrary later allocations (no aliasing
+// between allocations).
+func TestNoAliasingProperty(t *testing.T) {
+	f := func(vals []uint32, extra uint8) bool {
+		m := New()
+		addrs := make([]Addr, len(vals))
+		for i, v := range vals {
+			addrs[i] = m.Alloc(4, i%2 == 0, 4)
+			m.Store(addrs[i], 4, uint64(v))
+		}
+		m.Alloc(int(extra)+1, true, 64)
+		for i, v := range vals {
+			if m.Load(addrs[i], 4) != uint64(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLoad8(b *testing.B) {
+	m := New()
+	a := m.Alloc(64, true, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Load(a, 8)
+	}
+}

@@ -1,0 +1,120 @@
+// Package oracle implements a deliberately naive, obviously correct
+// happens-before race detector used as a reference to validate CLEAN and
+// FastTrack on randomized programs.
+//
+// Unlike the epoch-based detectors it stores, per shared byte, a full
+// vector-clock snapshot of the last write and of every read since that
+// write (§2.3's textbook scheme). It is far too slow for real use — that
+// is the point: its correctness is self-evident, so agreement with the
+// optimized detectors on the same scheduled execution is strong evidence
+// they implement the model faithfully.
+package oracle
+
+import (
+	"repro/internal/machine"
+	"repro/internal/vclock"
+)
+
+// Mode selects which race kinds the oracle reports.
+type Mode int
+
+const (
+	// WAWRAW reports only write-after-write and read-after-write races,
+	// CLEAN's detection target.
+	WAWRAW Mode = iota
+	// AllRaces additionally reports write-after-read races, the
+	// fully-precise (FastTrack) target.
+	AllRaces
+)
+
+type writeRecord struct {
+	tid int
+	vc  vclock.VC
+}
+
+type readRecord struct {
+	tid int
+	vc  vclock.VC
+}
+
+type byteState struct {
+	write *writeRecord
+	reads []readRecord
+}
+
+// Detector is the reference happens-before detector. It implements
+// machine.Detector.
+type Detector struct {
+	mode  Mode
+	bytes map[uint64]*byteState
+	// Races counts reported races (always 1, since the machine stops).
+	Races int
+}
+
+var _ machine.Detector = (*Detector)(nil)
+
+// New returns a reference detector in the given mode.
+func New(mode Mode) *Detector {
+	return &Detector{mode: mode, bytes: make(map[uint64]*byteState)}
+}
+
+// Name implements machine.Detector.
+func (d *Detector) Name() string { return "oracle" }
+
+// Reset implements machine.Detector by discarding all access history.
+func (d *Detector) Reset() { d.bytes = make(map[uint64]*byteState) }
+
+// OnAccess implements machine.Detector with the textbook vector-clock
+// check: a previous access happens-before the current one iff its whole
+// clock snapshot is ≤ the current thread's clock.
+func (d *Detector) OnAccess(t *machine.Thread, addr uint64, size int, write bool) error {
+	for i := 0; i < size; i++ {
+		if err := d.checkByte(t, addr+uint64(i), addr, size, write); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Detector) checkByte(t *machine.Thread, byteAddr, accessAddr uint64, size int, write bool) error {
+	st := d.bytes[byteAddr]
+	if st == nil {
+		st = &byteState{}
+		d.bytes[byteAddr] = st
+	}
+	if st.write != nil && !st.write.vc.HappensBefore(t.VC) {
+		kind := machine.RAW
+		if write {
+			kind = machine.WAW
+		}
+		d.Races++
+		return &machine.RaceError{
+			Kind: kind, Addr: accessAddr, Size: size,
+			TID: t.ID, SFR: t.SFRIndex,
+			PrevTID:   st.write.tid,
+			PrevClock: st.write.vc.Clock(st.write.tid),
+			Detector:  "oracle",
+		}
+	}
+	if write {
+		if d.mode == AllRaces {
+			for _, r := range st.reads {
+				if r.tid != t.ID && !r.vc.HappensBefore(t.VC) {
+					d.Races++
+					return &machine.RaceError{
+						Kind: machine.WAR, Addr: accessAddr, Size: size,
+						TID: t.ID, SFR: t.SFRIndex,
+						PrevTID:   r.tid,
+						PrevClock: r.vc.Clock(r.tid),
+						Detector:  "oracle",
+					}
+				}
+			}
+		}
+		st.write = &writeRecord{tid: t.ID, vc: t.VC.Copy()}
+		st.reads = st.reads[:0]
+	} else {
+		st.reads = append(st.reads, readRecord{tid: t.ID, vc: t.VC.Copy()})
+	}
+	return nil
+}

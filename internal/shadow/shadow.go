@@ -1,0 +1,162 @@
+// Package shadow implements CLEAN's software epoch region (§4.2): one
+// 32-bit epoch per byte of program data, at a fixed offset from the data
+// address, so EPOCH_ADDRESS is a shift-and-add.
+//
+// The paper reserves a large fixed region of virtual address space and
+// relies on demand paging so that only epochs for touched data consume
+// physical memory; the deterministic rollover reset (§4.5) then remaps all
+// epoch pages to the kernel zero page instead of writing zeroes. This
+// package reproduces both properties with a lazily populated page table:
+// untouched pages cost nothing, and Reset drops every page in O(pages).
+//
+// All single-epoch operations are atomic (sync/atomic on the backing
+// words) so the compare-and-swap update of §4.3 keeps its meaning when the
+// region is driven from truly concurrent goroutines, as the stress tests
+// do.
+package shadow
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vclock"
+)
+
+// PageBytes is the number of data bytes covered by one shadow page. Each
+// page therefore backs PageBytes epochs (4×PageBytes metadata bytes),
+// mirroring the 1:4 data:metadata ratio of §4.2.
+const PageBytes = 4096
+
+// Region is the epoch shadow for a simulated address space. The zero value
+// is not ready for use; call New.
+type Region struct {
+	mu    sync.RWMutex
+	pages map[uint64]*page
+	// resets counts completed Reset calls, reported by the Table 1
+	// experiment as the number of rollover resets.
+	resets atomic.Uint64
+}
+
+type page struct {
+	epochs [PageBytes]uint32
+}
+
+// New returns an empty shadow region.
+func New() *Region {
+	return &Region{pages: make(map[uint64]*page)}
+}
+
+// Load returns the epoch of the data byte at addr. Untouched bytes read as
+// the zero epoch, which happens-before everything.
+func (r *Region) Load(addr uint64) vclock.Epoch {
+	p := r.lookup(addr / PageBytes)
+	if p == nil {
+		return 0
+	}
+	return vclock.Epoch(atomic.LoadUint32(&p.epochs[addr%PageBytes]))
+}
+
+// Store unconditionally sets the epoch of the data byte at addr.
+func (r *Region) Store(addr uint64, e vclock.Epoch) {
+	p := r.ensure(addr / PageBytes)
+	atomic.StoreUint32(&p.epochs[addr%PageBytes], uint32(e))
+}
+
+// CompareAndSwap atomically replaces the epoch at addr with new if it still
+// equals old, reporting whether the swap happened. A failed swap on a write
+// check is exactly how a concurrent WAW race manifests in software CLEAN
+// (§4.3).
+func (r *Region) CompareAndSwap(addr uint64, old, new vclock.Epoch) bool {
+	p := r.ensure(addr / PageBytes)
+	return atomic.CompareAndSwapUint32(&p.epochs[addr%PageBytes], uint32(old), uint32(new))
+}
+
+// LoadAllEqual loads the epochs of the n data bytes starting at addr and
+// reports whether they all hold the same value, returning that value when
+// they do. This is the software analogue of the vector load + vector
+// compare of §4.4: in the common case a multi-byte access is validated by
+// inspecting a single epoch.
+func (r *Region) LoadAllEqual(addr uint64, n int) (e vclock.Epoch, allEqual bool) {
+	if n <= 0 {
+		return 0, true
+	}
+	e = r.Load(addr)
+	for i := 1; i < n; i++ {
+		if r.Load(addr+uint64(i)) != e {
+			return e, false
+		}
+	}
+	return e, true
+}
+
+// CompareAndSwapRange performs the wide-CAS update of §4.4: the n epochs
+// starting at addr are swapped from old to new as one operation. The
+// hardware analogue is a 128-bit CAS covering four epochs; in software the
+// leading epoch is CASed and the rest stored, which is atomic here because
+// the machine serializes race checks (callers needing true concurrent
+// atomicity per epoch use CompareAndSwap). It reports false — a WAW race,
+// §4.3 — when the leading epoch no longer holds old.
+func (r *Region) CompareAndSwapRange(addr uint64, n int, old, new vclock.Epoch) bool {
+	if n <= 0 {
+		return true
+	}
+	if !r.CompareAndSwap(addr, old, new) {
+		return false
+	}
+	r.StoreRange(addr+1, n-1, new)
+	return true
+}
+
+// StoreRange unconditionally sets the n epochs starting at addr.
+func (r *Region) StoreRange(addr uint64, n int, e vclock.Epoch) {
+	for i := 0; i < n; i++ {
+		r.Store(addr+uint64(i), e)
+	}
+}
+
+// Reset discards every epoch, returning the region to the all-zero state.
+// It models the remap-to-zero-page rollover reset of §4.5: cost is
+// proportional to the number of mapped pages, not to the data size.
+func (r *Region) Reset() {
+	r.mu.Lock()
+	r.pages = make(map[uint64]*page)
+	r.mu.Unlock()
+	r.resets.Add(1)
+}
+
+// Resets returns the number of Reset calls performed.
+func (r *Region) Resets() uint64 { return r.resets.Load() }
+
+// MappedPages returns the number of shadow pages currently backed by
+// storage. The paper's memory-footprint claim (§4.6) is that this grows
+// with accessed shared data, not with the address-space size.
+func (r *Region) MappedPages() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.pages)
+}
+
+// MetadataBytes returns the current metadata footprint in bytes
+// (4 bytes of epoch per covered data byte).
+func (r *Region) MetadataBytes() int { return r.MappedPages() * PageBytes * 4 }
+
+func (r *Region) lookup(idx uint64) *page {
+	r.mu.RLock()
+	p := r.pages[idx]
+	r.mu.RUnlock()
+	return p
+}
+
+func (r *Region) ensure(idx uint64) *page {
+	if p := r.lookup(idx); p != nil {
+		return p
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p := r.pages[idx]; p != nil {
+		return p
+	}
+	p := new(page)
+	r.pages[idx] = p
+	return p
+}

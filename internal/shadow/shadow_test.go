@@ -1,0 +1,220 @@
+package shadow
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vclock"
+)
+
+var layout = vclock.DefaultLayout
+
+func TestLoadUntouchedIsZero(t *testing.T) {
+	r := New()
+	if e := r.Load(12345); e != 0 {
+		t.Fatalf("untouched epoch = %v, want 0", e)
+	}
+	if r.MappedPages() != 0 {
+		t.Fatalf("Load must not materialize pages, got %d", r.MappedPages())
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	r := New()
+	e := layout.Pack(3, 77)
+	r.Store(999, e)
+	if got := r.Load(999); got != e {
+		t.Fatalf("Load = %v, want %v", got, e)
+	}
+	if got := r.Load(998); got != 0 {
+		t.Fatalf("neighbour epoch = %v, want 0", got)
+	}
+}
+
+func TestStoreAcrossPageBoundary(t *testing.T) {
+	r := New()
+	base := uint64(PageBytes - 2)
+	e := layout.Pack(1, 1)
+	r.StoreRange(base, 4, e)
+	for i := uint64(0); i < 4; i++ {
+		if got := r.Load(base + i); got != e {
+			t.Fatalf("epoch at +%d = %v, want %v", i, got, e)
+		}
+	}
+	if r.MappedPages() != 2 {
+		t.Fatalf("MappedPages = %d, want 2", r.MappedPages())
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	r := New()
+	a := layout.Pack(1, 10)
+	b := layout.Pack(2, 20)
+	if !r.CompareAndSwap(5, 0, a) {
+		t.Fatal("CAS from zero failed")
+	}
+	if r.CompareAndSwap(5, 0, b) {
+		t.Fatal("CAS with stale old value succeeded")
+	}
+	if !r.CompareAndSwap(5, a, b) {
+		t.Fatal("CAS with correct old value failed")
+	}
+	if got := r.Load(5); got != b {
+		t.Fatalf("Load = %v, want %v", got, b)
+	}
+}
+
+func TestLoadAllEqual(t *testing.T) {
+	r := New()
+	e := layout.Pack(4, 9)
+	r.StoreRange(100, 8, e)
+	got, eq := r.LoadAllEqual(100, 8)
+	if !eq || got != e {
+		t.Fatalf("LoadAllEqual = %v,%v; want %v,true", got, eq, e)
+	}
+	r.Store(103, layout.Pack(5, 9))
+	if _, eq := r.LoadAllEqual(100, 8); eq {
+		t.Fatal("LoadAllEqual reported equal after a divergent byte")
+	}
+	if _, eq := r.LoadAllEqual(50, 0); !eq {
+		t.Fatal("empty range must be trivially equal")
+	}
+}
+
+func TestCompareAndSwapRangeStopsOnConflict(t *testing.T) {
+	r := New()
+	old := layout.Pack(1, 1)
+	r.StoreRange(0, 4, old)
+	r.Store(0, layout.Pack(2, 2)) // conflicting update on the leading epoch
+	if r.CompareAndSwapRange(0, 4, old, layout.Pack(1, 3)) {
+		t.Fatal("range CAS should fail on the conflicting leading epoch")
+	}
+	// Trailing epochs must not have been updated.
+	if got := r.Load(3); got != old {
+		t.Fatalf("epoch past conflict was updated: %v", got)
+	}
+}
+
+func TestCompareAndSwapRangeSucceeds(t *testing.T) {
+	r := New()
+	old := layout.Pack(1, 1)
+	nw := layout.Pack(1, 2)
+	r.StoreRange(8, 8, old)
+	if !r.CompareAndSwapRange(8, 8, old, nw) {
+		t.Fatal("range CAS failed on matching epochs")
+	}
+	for i := uint64(8); i < 16; i++ {
+		if got := r.Load(i); got != nw {
+			t.Fatalf("epoch %d = %v, want %v", i, got, nw)
+		}
+	}
+	if r.CompareAndSwapRange(0, 0, old, nw) != true {
+		t.Fatal("empty range CAS must trivially succeed")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New()
+	r.Store(1, layout.Pack(1, 1))
+	r.Store(PageBytes*3, layout.Pack(2, 2))
+	if r.MappedPages() != 2 {
+		t.Fatalf("MappedPages = %d, want 2", r.MappedPages())
+	}
+	r.Reset()
+	if r.Load(1) != 0 || r.Load(PageBytes*3) != 0 {
+		t.Fatal("epochs survived Reset")
+	}
+	if r.MappedPages() != 0 {
+		t.Fatalf("pages survived Reset: %d", r.MappedPages())
+	}
+	if r.Resets() != 1 {
+		t.Fatalf("Resets = %d, want 1", r.Resets())
+	}
+}
+
+func TestMetadataBytes(t *testing.T) {
+	r := New()
+	r.Store(0, 1)
+	if got, want := r.MetadataBytes(), PageBytes*4; got != want {
+		t.Fatalf("MetadataBytes = %d, want %d", got, want)
+	}
+}
+
+// Property: a store is observed by a subsequent load at the same address
+// and at no other address.
+func TestStoreIsolationProperty(t *testing.T) {
+	f := func(addr uint32, tid uint8, clock uint32, other uint32) bool {
+		r := New()
+		e := layout.Pack(int(tid), clock&layout.MaxClock())
+		r.Store(uint64(addr), e)
+		if r.Load(uint64(addr)) != e {
+			return false
+		}
+		if other != addr && r.Load(uint64(other)) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Concurrent CAS from many goroutines: exactly one writer per round wins,
+// and the final value is one of the proposed epochs. This exercises the
+// §4.3 atomicity argument with real concurrency.
+func TestConcurrentCASSingleWinner(t *testing.T) {
+	r := New()
+	const writers = 16
+	const rounds = 200
+	for round := 0; round < rounds; round++ {
+		old := r.Load(42)
+		var wg sync.WaitGroup
+		wins := make([]bool, writers)
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wins[w] = r.CompareAndSwap(42, old, layout.Pack(w%255, uint32(round+1)))
+			}(w)
+		}
+		wg.Wait()
+		won := 0
+		for _, ok := range wins {
+			if ok {
+				won++
+			}
+		}
+		if won != 1 {
+			t.Fatalf("round %d: %d winners, want exactly 1", round, won)
+		}
+	}
+}
+
+func BenchmarkLoad(b *testing.B) {
+	r := New()
+	r.Store(100, layout.Pack(1, 1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Load(100)
+	}
+}
+
+func BenchmarkLoadAllEqual8(b *testing.B) {
+	r := New()
+	r.StoreRange(100, 8, layout.Pack(1, 1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = r.LoadAllEqual(100, 8)
+	}
+}
+
+func BenchmarkCAS(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := layout.Pack(1, uint32(i)&layout.MaxClock())
+		r.CompareAndSwap(100, r.Load(100), e)
+	}
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{4}, 4},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, tt := range tests {
+		if got := Mean(tt.xs); !almost(got, tt.want) {
+			t.Errorf("Mean(%v) = %v, want %v", tt.xs, got, tt.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almost(got, math.Sqrt(32.0/7)) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("single sample StdDev must be 0")
+	}
+}
+
+func TestCI95ShrinksWithSamples(t *testing.T) {
+	small := CI95([]float64{1, 2, 1, 2})
+	var many []float64
+	for i := 0; i < 64; i++ {
+		many = append(many, float64(1+i%2))
+	}
+	large := CI95(many)
+	if large >= small {
+		t.Errorf("CI95 did not shrink: %v -> %v", small, large)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); !almost(got, 10) {
+		t.Errorf("GeoMean = %v, want 10", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("GeoMean of non-positive input must be NaN")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd Median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even Median = %v", got)
+	}
+}
+
+// Property: mean is within [min, max].
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true
+			}
+		}
+		m := Mean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return m >= lo-1e-6 && m <= hi+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("bench", "slowdown")
+	tb.AddRow("barnes", 1.5)
+	tb.AddRow("lu_cb", 22.0)
+	out := tb.String()
+	if !strings.Contains(out, "barnes") || !strings.Contains(out, "22.00") {
+		t.Fatalf("table missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/machine"
+)
+
+// Binary trace format: a magic header, an event count, then fixed-width
+// little-endian records. It exists so an expensive traced run can be
+// captured once and replayed through the hardware simulator's design
+// points offline (cleansim -save/-load).
+const (
+	magic   = uint32(0xC1EA7AC3)
+	version = uint32(1)
+)
+
+// WriteTo serializes the trace.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := put(magic); err != nil {
+		return n, err
+	}
+	if err := put(version); err != nil {
+		return n, err
+	}
+	if err := put(uint64(len(t.Events))); err != nil {
+		return n, err
+	}
+	for _, e := range t.Events {
+		rec := eventRecord{
+			Kind: uint8(e.Kind), TID: e.TID, Size: e.Size,
+			Flags: flags(e), Sync: uint32(e.SyncKind),
+			Addr: e.Addr, Clock: e.Clock,
+		}
+		if err := put(rec); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a trace previously written by WriteTo, replacing
+// t's events.
+func (t *Trace) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReader(r)
+	var n int64
+	get := func(v interface{}) error {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	var m, ver uint32
+	if err := get(&m); err != nil {
+		return n, err
+	}
+	if m != magic {
+		return n, fmt.Errorf("trace: bad magic %#x", m)
+	}
+	if err := get(&ver); err != nil {
+		return n, err
+	}
+	if ver != version {
+		return n, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	var count uint64
+	if err := get(&count); err != nil {
+		return n, err
+	}
+	events := make([]Event, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var rec eventRecord
+		if err := get(&rec); err != nil {
+			return n, err
+		}
+		events = append(events, Event{
+			Kind: Kind(rec.Kind), TID: rec.TID, Size: rec.Size,
+			Shared:   rec.Flags&1 != 0,
+			SyncKind: machine.SyncEvent(rec.Sync),
+			Addr:     rec.Addr, Clock: rec.Clock,
+		})
+	}
+	t.Events = events
+	return n, nil
+}
+
+type eventRecord struct {
+	Kind  uint8
+	TID   uint8
+	Size  uint8
+	Flags uint8
+	Sync  uint32
+	Addr  uint64
+	Clock uint32
+	_     uint32 // pad to 24 bytes
+}
+
+func flags(e Event) uint8 {
+	if e.Shared {
+		return 1
+	}
+	return 0
+}

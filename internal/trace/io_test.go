@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func sampleTrace(t *testing.T) *Trace {
+	t.Helper()
+	rec := &Recorder{}
+	m := machine.New(machine.Config{Seed: 3, Tracer: rec})
+	a := m.AllocShared(64, 8)
+	p := m.AllocPrivate(8, 8)
+	l := m.NewMutex()
+	if err := m.Run(func(th *machine.Thread) {
+		c := th.Spawn(func(c *machine.Thread) {
+			c.Work(5)
+			c.Lock(l)
+			c.StoreU64(a, 1)
+			c.Unlock(l)
+		})
+		th.StoreU64(p, 9)
+		th.Lock(l)
+		th.StoreU32(a+8, 2)
+		th.Unlock(l)
+		th.Join(c)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return &rec.Trace
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := sampleTrace(t)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if _, err := back.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(orig.Events) {
+		t.Fatalf("event count %d != %d", len(back.Events), len(orig.Events))
+	}
+	for i := range orig.Events {
+		if back.Events[i] != orig.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, back.Events[i], orig.Events[i])
+		}
+	}
+	if back.Count() != orig.Count() {
+		t.Fatalf("counts differ: %+v vs %+v", back.Count(), orig.Count())
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	var tr Trace
+	if _, err := tr.ReadFrom(bytes.NewReader([]byte("not a trace at all"))); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	orig := sampleTrace(t)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5]
+	var tr Trace
+	if _, err := tr.ReadFrom(bytes.NewReader(cut)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestEmptyTraceRoundTrip(t *testing.T) {
+	var empty, back Trace
+	var buf bytes.Buffer
+	if _, err := empty.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := back.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != 0 {
+		t.Fatalf("empty trace round-tripped to %d events", len(back.Events))
+	}
+}

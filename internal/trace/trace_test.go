@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/vclock"
+)
+
+func TestRecorderCapturesMachineRun(t *testing.T) {
+	rec := &Recorder{}
+	m := machine.New(machine.Config{Seed: 1, Tracer: rec})
+	a := m.AllocShared(8, 8)
+	p := m.AllocPrivate(8, 8)
+	l := m.NewMutex()
+	err := m.Run(func(th *machine.Thread) {
+		th.Work(5)
+		th.StoreU64(a, 1)
+		th.LoadU64(a)
+		th.StoreU64(p, 2)
+		th.Lock(l)
+		th.Unlock(l)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rec.Trace.Count()
+	if c.Accesses != 3 {
+		t.Errorf("Accesses = %d, want 3", c.Accesses)
+	}
+	if c.Shared != 2 {
+		t.Errorf("Shared = %d, want 2", c.Shared)
+	}
+	if c.Writes != 2 {
+		t.Errorf("Writes = %d, want 2", c.Writes)
+	}
+	if c.Syncs != 2 {
+		t.Errorf("Syncs = %d, want 2 (lock+unlock)", c.Syncs)
+	}
+	if c.WorkUnits != 5 {
+		t.Errorf("WorkUnits = %d, want 5", c.WorkUnits)
+	}
+}
+
+func TestEventEpochCarriesThreadClock(t *testing.T) {
+	rec := &Recorder{}
+	m := machine.New(machine.Config{Seed: 1, Tracer: rec})
+	a := m.AllocShared(8, 8)
+	l := m.NewMutex()
+	err := m.Run(func(th *machine.Thread) {
+		th.StoreU64(a, 1)
+		th.Lock(l)
+		th.Unlock(l) // release ticks the clock
+		th.StoreU64(a, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clocks []uint32
+	for _, e := range rec.Trace.Events {
+		if e.Kind == Write && e.Shared {
+			clocks = append(clocks, e.Clock)
+		}
+	}
+	if len(clocks) != 2 || clocks[1] <= clocks[0] {
+		t.Fatalf("write clocks = %v, want second > first after a release", clocks)
+	}
+	l0 := vclock.DefaultLayout
+	e := rec.Trace.Events[0]
+	if got := e.Epoch(l0); l0.TID(got) != int(e.TID) || l0.Clock(got) != e.Clock {
+		t.Fatalf("Epoch() does not round-trip tid/clock")
+	}
+}
+
+func TestSyncEventKinds(t *testing.T) {
+	rec := &Recorder{}
+	m := machine.New(machine.Config{Seed: 1, Tracer: rec})
+	b := m.NewBarrier(2)
+	err := m.Run(func(th *machine.Thread) {
+		c := th.Spawn(func(c *machine.Thread) { c.BarrierWait(b) })
+		th.BarrierWait(b)
+		th.Join(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[machine.SyncEvent]int{}
+	for _, e := range rec.Trace.Events {
+		if e.Kind == Sync {
+			kinds[e.SyncKind]++
+		}
+	}
+	if kinds[machine.SyncSpawn] != 1 || kinds[machine.SyncJoin] != 1 || kinds[machine.SyncBarrier] != 2 {
+		t.Fatalf("sync kinds = %v", kinds)
+	}
+}

@@ -1,0 +1,181 @@
+// Package tsanlite implements a ThreadSanitizer-style imprecise race
+// detector: per 8-byte shadow granule it keeps only the last K accesses
+// (K=4, as the paper notes for TSan in §6.2.1), so older conflicting
+// accesses can be evicted and races missed.
+//
+// The paper builds software CLEAN on top of ThreadSanitizer's runtime and
+// uses TSan to find and remove the races in the "modified" benchmark
+// suite. This package plays the same two roles here: it is the imprecise
+// comparator for the detector benchmarks, and — in monitor mode, where it
+// records races instead of stopping — it is the tool the workload tests
+// use to confirm which benchmark variants are racy.
+package tsanlite
+
+import (
+	"repro/internal/machine"
+	"repro/internal/vclock"
+)
+
+// K is the number of shadow cells per 8-byte granule.
+const K = 4
+
+// Config configures a Detector.
+type Config struct {
+	// Layout is the epoch bit layout; zero value means
+	// vclock.DefaultLayout.
+	Layout vclock.Layout
+	// Monitor makes the detector record races and let execution
+	// continue, instead of raising an exception on the first one.
+	Monitor bool
+}
+
+// Report describes one observed race in monitor mode.
+type Report struct {
+	Kind    machine.RaceKind
+	Addr    uint64 // granule-aligned address of the conflict
+	TID     int
+	PrevTID int
+}
+
+type cell struct {
+	valid bool
+	tid   int
+	clock uint32
+	mask  uint8 // bytes of the granule touched
+	write bool
+}
+
+type granule struct {
+	cells [K]cell
+	next  int // round-robin eviction cursor
+}
+
+// Detector is the imprecise K-cell detector. It implements
+// machine.Detector.
+type Detector struct {
+	layout   vclock.Layout
+	monitor  bool
+	granules map[uint64]*granule
+	races    []Report
+	seen     map[Report]bool // dedup for monitor mode
+}
+
+var _ machine.Detector = (*Detector)(nil)
+
+// New returns a tsanlite detector.
+func New(cfg Config) *Detector {
+	if cfg.Layout == (vclock.Layout{}) {
+		cfg.Layout = vclock.DefaultLayout
+	}
+	return &Detector{
+		layout:   cfg.Layout,
+		monitor:  cfg.Monitor,
+		granules: make(map[uint64]*granule),
+		seen:     make(map[Report]bool),
+	}
+}
+
+// Name implements machine.Detector.
+func (d *Detector) Name() string { return "tsanlite" }
+
+// Reset implements machine.Detector.
+func (d *Detector) Reset() {
+	d.granules = make(map[uint64]*granule)
+}
+
+// Races returns the races recorded in monitor mode, deduplicated by
+// (kind, granule, thread pair).
+func (d *Detector) Races() []Report {
+	out := make([]Report, len(d.races))
+	copy(out, d.races)
+	return out
+}
+
+// RacyAddrs returns the distinct granule addresses with recorded races.
+func (d *Detector) RacyAddrs() []uint64 {
+	set := map[uint64]bool{}
+	for _, r := range d.races {
+		set[r.Addr] = true
+	}
+	out := make([]uint64, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	return out
+}
+
+// OnAccess implements machine.Detector.
+func (d *Detector) OnAccess(t *machine.Thread, addr uint64, size int, write bool) error {
+	// An access can span two granules; handle each part.
+	for size > 0 {
+		g := addr &^ 7
+		n := int(g + 8 - addr)
+		if n > size {
+			n = size
+		}
+		if err := d.accessGranule(t, g, uint8(maskFor(addr-g, n)), write); err != nil {
+			return err
+		}
+		addr += uint64(n)
+		size -= n
+	}
+	return nil
+}
+
+func maskFor(off uint64, n int) uint {
+	return ((1 << n) - 1) << off
+}
+
+func (d *Detector) accessGranule(t *machine.Thread, g uint64, mask uint8, write bool) error {
+	gr := d.granules[g]
+	if gr == nil {
+		gr = &granule{}
+		d.granules[g] = gr
+	}
+	for i := range gr.cells {
+		c := &gr.cells[i]
+		if !c.valid || c.mask&mask == 0 {
+			continue
+		}
+		if !c.write && !write {
+			continue // read/read never races
+		}
+		if c.tid == t.ID {
+			continue
+		}
+		if c.clock > t.VC.Clock(c.tid) {
+			kind := classify(c.write, write)
+			if !d.monitor {
+				return &machine.RaceError{
+					Kind: kind, Addr: g, Size: 8,
+					TID: t.ID, SFR: t.SFRIndex,
+					PrevTID: c.tid, PrevClock: c.clock,
+					Detector: "tsanlite",
+				}
+			}
+			r := Report{Kind: kind, Addr: g, TID: t.ID, PrevTID: c.tid}
+			if !d.seen[r] {
+				d.seen[r] = true
+				d.races = append(d.races, r)
+			}
+		}
+	}
+	// Record this access, evicting round-robin: the imprecision source.
+	gr.cells[gr.next] = cell{
+		valid: true, tid: t.ID, clock: t.VC.Clock(t.ID),
+		mask: mask, write: write,
+	}
+	gr.next = (gr.next + 1) % K
+	return nil
+}
+
+func classify(prevWrite, curWrite bool) machine.RaceKind {
+	switch {
+	case prevWrite && curWrite:
+		return machine.WAW
+	case prevWrite:
+		return machine.RAW
+	default:
+		return machine.WAR
+	}
+}

@@ -1,0 +1,159 @@
+package tsanlite
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestDetectsSimpleWAW(t *testing.T) {
+	d := New(Config{})
+	m := machine.New(machine.Config{Seed: 0, Detector: d})
+	a := m.AllocShared(8, 8)
+	err := m.Run(func(th *machine.Thread) {
+		c := th.Spawn(func(c *machine.Thread) { c.StoreU64(a, 1) })
+		th.StoreU64(a, 2)
+		th.Join(c)
+	})
+	var re *machine.RaceError
+	if !errors.As(err, &re) || re.Kind != machine.WAW {
+		t.Fatalf("err = %v, want WAW", err)
+	}
+}
+
+func TestMonitorModeCollectsWithoutStopping(t *testing.T) {
+	d := New(Config{Monitor: true})
+	m := machine.New(machine.Config{Seed: 0, Detector: d})
+	a := m.AllocShared(8, 8)
+	err := m.Run(func(th *machine.Thread) {
+		c := th.Spawn(func(c *machine.Thread) {
+			for i := 0; i < 5; i++ {
+				c.StoreU64(a, uint64(i))
+			}
+		})
+		for i := 0; i < 5; i++ {
+			th.StoreU64(a, uint64(i+100))
+		}
+		th.Join(c)
+	})
+	if err != nil {
+		t.Fatalf("monitor mode must not stop execution: %v", err)
+	}
+	if len(d.Races()) == 0 {
+		t.Fatal("monitor mode recorded no races on a racy program")
+	}
+	if len(d.RacyAddrs()) != 1 {
+		t.Fatalf("RacyAddrs = %v, want one granule", d.RacyAddrs())
+	}
+}
+
+func TestNoFalsePositivesOnLockedCounter(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		d := New(Config{})
+		m := machine.New(machine.Config{Seed: seed, Detector: d})
+		a := m.AllocShared(8, 8)
+		l := m.NewMutex()
+		err := m.Run(func(th *machine.Thread) {
+			c := th.Spawn(func(c *machine.Thread) {
+				for i := 0; i < 10; i++ {
+					c.Lock(l)
+					c.StoreU64(a, c.LoadU64(a)+1)
+					c.Unlock(l)
+				}
+			})
+			for i := 0; i < 10; i++ {
+				th.Lock(l)
+				th.StoreU64(a, th.LoadU64(a)+1)
+				th.Unlock(l)
+			}
+			th.Join(c)
+		})
+		if err != nil {
+			t.Fatalf("seed %d: false positive: %v", seed, err)
+		}
+	}
+}
+
+func TestEvictionCanMissRaces(t *testing.T) {
+	// The imprecision by design: flood a granule with > K accesses from
+	// one thread so the other thread's conflicting write is evicted
+	// before the racing read arrives. CLEAN (checked in its own tests)
+	// would catch this; tsanlite may not. We assert only that the
+	// mechanism exists: with enough flooding the race disappears from
+	// monitor-mode output for at least one seed.
+	missed := false
+	for seed := int64(0); seed < 30 && !missed; seed++ {
+		d := New(Config{Monitor: true})
+		m := machine.New(machine.Config{Seed: seed, Detector: d})
+		a := m.AllocShared(8, 8)
+		err := m.Run(func(th *machine.Thread) {
+			c := th.Spawn(func(c *machine.Thread) {
+				c.StoreU8(a, 1) // the write that should race
+			})
+			th.Work(20) // let the child write first in most schedules
+			// Flood the granule's cells with our own accesses ...
+			for i := 0; i < 2*K; i++ {
+				th.StoreU8(a+1+uint64(i%7), byte(i))
+			}
+			// ... then perform the access that races with the
+			// child's (now possibly evicted) write.
+			th.LoadU8(a)
+			th.Join(c)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawChildConflict := false
+		for _, r := range d.Races() {
+			if r.PrevTID == 1 || r.TID == 1 {
+				sawChildConflict = true
+			}
+		}
+		if !sawChildConflict {
+			missed = true
+		}
+	}
+	if !missed {
+		t.Error("expected at least one schedule where eviction hides the race")
+	}
+}
+
+func TestCrossGranuleAccess(t *testing.T) {
+	// An 8-byte access at an odd offset spans two granules; conflicts on
+	// both halves must be observable.
+	d := New(Config{Monitor: true})
+	m := machine.New(machine.Config{Seed: 1, Detector: d})
+	a := m.AllocShared(24, 8)
+	err := m.Run(func(th *machine.Thread) {
+		c := th.Spawn(func(c *machine.Thread) {
+			c.Store(a+4, 8, 0xFFFF) // spans [a, a+8) and [a+8, a+16)
+		})
+		th.Store(a+4, 8, 0xAAAA)
+		th.Join(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.RacyAddrs()) < 1 {
+		t.Fatal("no race recorded for overlapping cross-granule writes")
+	}
+}
+
+func TestGranuleMaskPreventsFalseConflicts(t *testing.T) {
+	// Disjoint bytes of one granule written by different threads do not
+	// race.
+	for seed := int64(0); seed < 10; seed++ {
+		d := New(Config{})
+		m := machine.New(machine.Config{Seed: seed, Detector: d})
+		a := m.AllocShared(8, 8)
+		err := m.Run(func(th *machine.Thread) {
+			c := th.Spawn(func(c *machine.Thread) { c.StoreU8(a, 1) })
+			th.StoreU8(a+4, 2)
+			th.Join(c)
+		})
+		if err != nil {
+			t.Fatalf("seed %d: disjoint bytes reported as racing: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// This file documents how the stand-in kernels map to the paper's
+// benchmarks (§6.1) and which characteristic each one is responsible for
+// reproducing.
+//
+// # Roster
+//
+// SPLASH-2 (14): barnes, cholesky, fft, fmm, lu_cb, lu_ncb, ocean_cp,
+// ocean_ncp, radiosity, radix, raytrace, volrend, water_nsquared,
+// water_spatial.
+//
+// PARSEC (12, freqmine excluded as non-Pthread): blackscholes, bodytrack,
+// canneal, dedup, facesim, ferret, fluidanimate, parsec_raytrace,
+// streamcluster, swaptions, vips, x264.
+//
+// # Racy ("unmodified") set — 17 of 26, as in the paper
+//
+// barnes, cholesky, fmm, ocean_cp, ocean_ncp, radiosity, raytrace,
+// volrend, water_nsquared, water_spatial, canneal, dedup, ferret,
+// fluidanimate, streamcluster, vips, x264.
+//
+// The injected races are the suites' classic patterns: unprotected
+// reduction/statistics counters (most benchmarks), unlocked boundary-cell
+// updates (fluidanimate), an unsynchronized ray-id counter (raytrace),
+// and a fully lock-free update strategy (canneal, which therefore has no
+// modified variant, §6.1). Every racy kernel performs at least one
+// unconditional unordered write pair, so — as the paper reports in
+// §6.2.2 — every unmodified racy run ends with a race exception.
+//
+// # Signature responsibilities (what drives each paper result)
+//
+//	lu_cb, lu_ncb     highest shared-access frequency (Fig. 7) → worst
+//	                  software detection slowdowns (Fig. 6)
+//	dedup             byte-granularity writes with misaligned chunk
+//	                  boundaries → expanded epoch lines, the worst
+//	                  hardware case (Fig. 9/10, 46.7%)
+//	ocean_*, radix    streaming grids / scatter permutation → high LLC
+//	                  miss rate, hurt most by 4-byte epochs (Fig. 11)
+//	fmm, radiosity,   very frequent synchronization → visible
+//	fluidanimate      deterministic-synchronization latency (Fig. 6)
+//	dedup, ferret,    pipeline parallelism with unequal per-thread work →
+//	vips              deterministic-counter imbalance overhead (Fig. 6)
+//	streamcluster     barrier-dominated (spin-vs-block effects, §6.2.3)
+//	blackscholes,     mostly private compute → near-zero detection
+//	swaptions, facesim overhead; facesim also skipped in hw sim (§6.3.1)
+//	canneal           lock-free, races by design; no modified variant
+package workloads

@@ -1,0 +1,742 @@
+package workloads
+
+import "repro/internal/machine"
+
+// parsec returns the 12 PARSEC kernels (freqmine is excluded, as in §6.1:
+// it is not a Pthread benchmark).
+func parsec() []Workload {
+	return []Workload{
+		blackscholes(), bodytrack(), canneal(), dedup(), facesim(),
+		ferret(), fluidanimate(), parsecRaytrace(), streamcluster(),
+		swaptions(), vips(), x264(),
+	}
+}
+
+// blackscholes: embarrassingly parallel option pricing — read-only shared
+// inputs, thread-private outputs, heavy private arithmetic, one barrier.
+// Race-free.
+func blackscholes() Workload {
+	return Workload{
+		Name: "blackscholes", Suite: "parsec", Racy: false, HasModified: true,
+		Desc: "data-parallel pricing: read-only inputs, private compute; race-free",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			n := c.n(32, 128, 256, 512)
+			in := m.AllocShared(n*40, 64) // 5 f64 params per option
+			out := m.AllocShared(n*8, 64)
+			bar := m.NewBarrier(NumThreads)
+			root := func(t *machine.Thread) {
+				for i := 0; i < n*5; i++ {
+					t.StoreF64(in+uint64(i*8), float64(i%23)+0.5)
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					lo, hi := chunk(n, id)
+					for i := lo; i < hi; i++ {
+						var p float64
+						for k := 0; k < 5; k++ {
+							p += w.LoadF64(in + uint64((i*5+k)*8))
+						}
+						work(w, 20) // the Black-Scholes formula is private math
+						w.StoreF64(out+uint64(i*8), p*0.4)
+					}
+					w.BarrierWait(bar)
+				})
+			}
+			return root, Output{Addr: out, Len: n * 8}
+		},
+	}
+}
+
+// bodytrack: particle-filter phases — weight computation into own slots, a
+// locked normalization reduction, and a barrier-ordered resampling pass
+// that reads all weights. Race-free.
+func bodytrack() Workload {
+	return Workload{
+		Name: "bodytrack", Suite: "parsec", Racy: false, HasModified: true,
+		Desc: "particle filter: barrier phases + locked reduction; race-free",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			nParticles := c.n(32, 128, 256, 512)
+			steps := c.n(1, 2, 3, 3)
+			weights := m.AllocShared(nParticles*8, 64)
+			state := m.AllocShared(nParticles*8, 64)
+			sum := m.AllocShared(8, 8)
+			sLock := m.NewMutex()
+			bar := m.NewBarrier(NumThreads)
+			root := func(t *machine.Thread) {
+				for i := 0; i < nParticles; i++ {
+					t.StoreF64(state+uint64(i*8), float64(i%29))
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					lo, hi := chunk(nParticles, id)
+					for s := 0; s < steps; s++ {
+						local := 0.0
+						for i := lo; i < hi; i++ {
+							x := w.LoadF64(state + uint64(i*8))
+							work(w, 8)
+							wgt := 1.0 / (1.0 + x*x)
+							w.StoreF64(weights+uint64(i*8), wgt)
+							local += wgt
+						}
+						w.Lock(sLock)
+						w.StoreF64(sum, w.LoadF64(sum)+local)
+						w.Unlock(sLock)
+						w.BarrierWait(bar)
+						// Resample: read any weight, update own state.
+						total := w.LoadF64(sum)
+						for i := lo; i < hi; i++ {
+							j := (i*17 + s*5) % nParticles
+							wj := w.LoadF64(weights + uint64(j*8))
+							w.StoreF64(state+uint64(i*8), wj/total*float64(nParticles))
+						}
+						w.BarrierWait(bar)
+					}
+				})
+			}
+			return root, Output{Addr: state, Len: nParticles * 8}
+		},
+	}
+}
+
+// canneal: simulated annealing with a lock-free swap strategy — elements
+// are exchanged with plain unsynchronized read-modify-writes, racing by
+// design. §6.1 excludes it from the modified suite for exactly this
+// reason, so HasModified is false.
+func canneal() Workload {
+	return Workload{
+		Name: "canneal", Suite: "parsec", Racy: true, HasModified: false,
+		Desc: "lock-free annealing swaps: races by design, no modified variant",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			nElems := c.n(32, 128, 256, 512)
+			swaps := c.n(16, 64, 128, 256)
+			elems := m.AllocShared(nElems*8, 64)
+			root := func(t *machine.Thread) {
+				for i := 0; i < nElems; i++ {
+					t.StoreU64(elems+uint64(i*8), uint64(i))
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					r := newLCG(uint64(id)*97 + 5)
+					for s := 0; s < swaps; s++ {
+						a := uint64(r.intn(nElems))
+						b := uint64(r.intn(nElems))
+						va := w.LoadU64(elems + a*8)
+						vb := w.LoadU64(elems + b*8)
+						work(w, 3)
+						// Unsynchronized exchange — the racy "lock-free"
+						// update strategy.
+						w.StoreU64(elems+a*8, vb)
+						w.StoreU64(elems+b*8, va)
+					}
+				})
+			}
+			return root, Output{Addr: elems, Len: nElems * 8}
+		},
+	}
+}
+
+// dedup: the compression pipeline. Chunks of an input stream flow through
+// bounded queues to hashing workers that write per-byte rolling-hash state
+// into a shared buffer — chunk boundaries are deliberately not 4-byte
+// aligned, so adjacent chunks processed by different threads split epoch
+// groups: the byte-granularity behaviour that makes dedup the paper's
+// worst hardware case (46.7%, mostly expanded lines). The unmodified
+// variant counts duplicates without the lock.
+func dedup() Workload {
+	return Workload{
+		Name: "dedup", Suite: "parsec", Racy: true, HasModified: true,
+		Desc: "pipeline + byte-granularity writes (expanded lines); racy dup counter",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			const chunkLen = 31 // intentionally not a multiple of 4
+			nChunks := c.n(8, 64, 128, 256)
+			inBytes := nChunks * chunkLen
+			in := m.AllocShared(inBytes, 64)
+			hashState := m.AllocShared(inBytes, 64) // one state byte per input byte
+			table := m.AllocShared(64*8, 64)        // dedup hash table buckets
+			dups := m.AllocShared(8, 8)
+			out := m.AllocShared(nChunks*8, 64)
+			tLock := m.NewMutex()
+			dLock := m.NewMutex()
+			q1 := newQueue(m, 8)
+			q2 := newQueue(m, 8)
+			gate := newStageGate(m)
+			const hashers = 4
+			const writers = 3
+			const batch = 4 // chunks per queue message, as dedup batches
+			root := func(t *machine.Thread) {
+				r := newLCG(7)
+				for i := 0; i+8 <= inBytes; i += 8 {
+					var wv uint64
+					for b := 0; b < 8; b++ {
+						wv |= uint64(uint8(r.intn(64))) << (8 * b)
+					}
+					t.StoreU64(in+uint64(i), wv)
+				}
+				for i := inBytes &^ 7; i < inBytes; i++ {
+					t.StoreU8(in+uint64(i), uint8(r.intn(64)))
+				}
+				gate.init(t, hashers)
+				forkJoin(t, func(w *machine.Thread, id int) {
+					switch {
+					case id == 0: // chunker
+						for ch := 0; ch < nChunks; ch += batch {
+							// Rabin fingerprint scan over the batch.
+							work(w, chunkLen/2*batch)
+							q1.put(w, uint64(ch))
+						}
+						for i := 0; i < hashers; i++ {
+							q1.put(w, done)
+						}
+					case id <= hashers: // hashing stage
+						bytesHashed := uint64(0)
+						for {
+							first := q1.get(w)
+							if first == done {
+								// Stage statistics: unprotected in
+								// the unmodified benchmark.
+								c.bumpStatU(w, dLock, dups, bytesHashed)
+								gate.producerDone(w, q2, writers)
+								break
+							}
+							var h uint64 = 1469598103934665603
+							for ch := first; ch < first+batch && ch < uint64(nChunks); ch++ {
+								base := ch * chunkLen
+								for b := uint64(0); b < chunkLen; b++ {
+									v := w.LoadU8(in + base + b)
+									if b > 0 {
+										// Rolling window: reread the
+										// previous state byte.
+										v ^= w.LoadU8(hashState + base + b - 1)
+									}
+									h = (h ^ uint64(v)) * 1099511628211
+									// Byte-granular shared write: the
+									// rolling state for this input byte.
+									w.StoreU8(hashState+base+b, uint8(h))
+									work(w, 1)
+									bytesHashed++
+								}
+							}
+							q2.put(w, first<<32|h&0xFFFFFFFF)
+						}
+					default: // writer/dedup stage
+						written := uint64(0)
+						for {
+							v := q2.get(w)
+							if v == done {
+								c.bumpStatU(w, dLock, dups, written)
+								break
+							}
+							first := v >> 32
+							h := v & 0xFFFFFFFF
+							bucket := h % 64
+							w.Lock(tLock)
+							old := w.LoadU64(table + bucket*8)
+							isDup := old == h
+							if !isDup {
+								w.StoreU64(table+bucket*8, h)
+							}
+							w.Unlock(tLock)
+							// Per-batch statistics: the unmodified
+							// benchmark's unprotected counter.
+							if isDup {
+								written += 100
+							}
+							for ch := first; ch < first+batch && ch < uint64(nChunks); ch++ {
+								written++
+								w.StoreU64(out+ch*8, h^ch)
+							}
+						}
+					}
+				})
+			}
+			return root, Output{Addr: out, Len: nChunks * 8}
+		},
+	}
+}
+
+// facesim: deformable-mesh physics — an ocean-like barrier stencil with a
+// much higher private-compute-to-shared-access ratio. Race-free; the
+// paper omits it from the hardware simulation for simulation time, and so
+// does the harness.
+func facesim() Workload {
+	return Workload{
+		Name: "facesim", Suite: "parsec", Racy: false, HasModified: true,
+		Desc: "mesh physics: barrier stencil, compute-heavy; race-free",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			side := c.n(12, 24, 40, 64)
+			iters := c.n(2, 2, 2, 4) // even: result ends in the front buffer
+			mesh := m.AllocShared(side*side*8, 64)
+			back := m.AllocShared(side*side*8, 64)
+			bar := m.NewBarrier(NumThreads)
+			at := func(base uint64, r, col int) uint64 { return base + uint64((r*side+col)*8) }
+			root := func(t *machine.Thread) {
+				for i := 0; i < side*side; i++ {
+					t.StoreF64(mesh+uint64(i*8), float64(i%19))
+					t.StoreF64(back+uint64(i*8), float64(i%19))
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					per := (side + NumThreads - 1) / NumThreads
+					cur, nxt := mesh, back // per-worker views, swapped in lockstep
+					for it := 0; it < iters; it++ {
+						for r := 1; r < side-1; r++ {
+							if r/per != id {
+								continue
+							}
+							for col := 1; col < side-1; col++ {
+								f := w.LoadF64(at(cur, r-1, col)) + w.LoadF64(at(cur, r+1, col))
+								work(w, 25) // stress/strain kernels are private math
+								w.StoreF64(at(nxt, r, col), w.LoadF64(at(cur, r, col))*0.9+f*0.05)
+							}
+						}
+						w.BarrierWait(bar)
+						cur, nxt = nxt, cur
+					}
+				})
+			}
+			return root, Output{Addr: mesh, Len: side * side * 8}
+		},
+	}
+}
+
+// ferret: the four-stage similarity-search pipeline; candidates flow
+// through queues and are merged into a shared top-K rank list. The
+// unmodified variant updates the rank list without its lock.
+func ferret() Workload {
+	return Workload{
+		Name: "ferret", Suite: "parsec", Racy: true, HasModified: true,
+		Desc: "4-stage pipeline; racy top-K rank list update",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			nQueries := c.n(8, 32, 64, 128)
+			const topK = 8
+			db := m.AllocShared(256*8, 64)
+			rank := m.AllocShared(topK*8, 64)
+			rLock := m.NewMutex()
+			q1 := newQueue(m, 8)
+			q2 := newQueue(m, 8)
+			gate := newStageGate(m)
+			const extractors = 4
+			const rankers = 3
+			updateRank := func(w *machine.Thread, score uint64) {
+				update := func() {
+					for k := 0; k < topK; k++ {
+						a := rank + uint64(k*8)
+						if w.LoadU64(a) < score {
+							w.StoreU64(a, score)
+							break
+						}
+					}
+				}
+				if c.racy {
+					update()
+					return
+				}
+				w.Lock(rLock)
+				update()
+				w.Unlock(rLock)
+			}
+			root := func(t *machine.Thread) {
+				for i := 0; i < 256; i++ {
+					t.StoreU64(db+uint64(i*8), uint64(i*i%251))
+				}
+				gate.init(t, extractors)
+				forkJoin(t, func(w *machine.Thread, id int) {
+					switch {
+					case id == 0: // load stage
+						for q := 0; q < nQueries; q++ {
+							work(w, 20) // image load + segmentation
+							q1.put(w, uint64(q))
+						}
+						for i := 0; i < extractors; i++ {
+							q1.put(w, done)
+						}
+					case id <= extractors: // extract features
+						for {
+							q := q1.get(w)
+							if q == done {
+								gate.producerDone(w, q2, rankers)
+								break
+							}
+							var feat uint64
+							for k := 0; k < 16; k++ {
+								feat += w.LoadU64(db + uint64(((int(q)*13+k*7)%256)*8))
+								work(w, 15) // feature extraction
+							}
+							// Read the current rank threshold to
+							// prune weak candidates — unprotected in
+							// the unmodified benchmark, racing with
+							// the rank stage's updates.
+							var threshold uint64
+							if c.racy {
+								threshold = w.LoadU64(rank)
+							} else {
+								w.Lock(rLock)
+								threshold = w.LoadU64(rank)
+								w.Unlock(rLock)
+							}
+							q2.put(w, feat+threshold%2)
+						}
+					default: // rank stage
+						for {
+							v := q2.get(w)
+							if v == done {
+								break
+							}
+							updateRank(w, v%1000)
+						}
+					}
+				})
+			}
+			return root, Output{Addr: rank, Len: topK * 8}
+		},
+	}
+}
+
+// fluidanimate: particles in a cell grid with fine-grained per-cell locks
+// and a barrier per step — the paper's most lock-intensive benchmark. The
+// unmodified variant skips the lock on grid-boundary cells, the
+// benchmark's actual documented race.
+func fluidanimate() Workload {
+	return Workload{
+		Name: "fluidanimate", Suite: "parsec", Racy: true, HasModified: true,
+		Desc: "fine-grained per-cell locks, frequent sync; racy boundary cells",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			side := c.n(8, 16, 24, 32)
+			steps := c.n(1, 2, 3, 3)
+			nCells := side * side
+			cells := m.AllocShared(nCells*16, 64) // density, force
+			cellLocks := make([]*machine.Mutex, nCells)
+			for i := range cellLocks {
+				cellLocks[i] = m.NewMutex()
+			}
+			bar := m.NewBarrier(NumThreads)
+			addDensity := func(w *machine.Thread, cell int, v float64, boundary bool) {
+				a := cells + uint64(cell*16)
+				if c.racy && boundary {
+					w.StoreF64(a, w.LoadF64(a)+v)
+					return
+				}
+				w.Lock(cellLocks[cell])
+				w.StoreF64(a, w.LoadF64(a)+v)
+				w.Unlock(cellLocks[cell])
+			}
+			root := func(t *machine.Thread) {
+				forkJoin(t, func(w *machine.Thread, id int) {
+					per := (side + NumThreads - 1) / NumThreads
+					for s := 0; s < steps; s++ {
+						for r := 0; r < side; r++ {
+							if r/per != id {
+								continue
+							}
+							for col := 0; col < side; col++ {
+								cell := r*side + col
+								// Contribute to self and neighbours.
+								for _, d := range [][2]int{{0, 0}, {1, 0}, {0, 1}} {
+									nr, nc := r+d[0], col+d[1]
+									if nr >= side || nc >= side {
+										continue
+									}
+									target := nr*side + nc
+									boundary := nr%per == 0 || nr%per == per-1
+									addDensity(w, target, 0.1*float64(cell%7+1), boundary)
+								}
+								work(w, 60) // SPH smoothing kernel
+							}
+						}
+						w.BarrierWait(bar)
+					}
+				})
+			}
+			return root, Output{Addr: cells, Len: nCells * 16}
+		},
+	}
+}
+
+// parsecRaytrace: the PARSEC raytracer — a tile queue over a read-only
+// acceleration structure, private framebuffer tiles. Race-free.
+func parsecRaytrace() Workload {
+	return Workload{
+		Name: "parsec_raytrace", Suite: "parsec", Racy: false, HasModified: true,
+		Desc: "tile queue over read-only BVH; race-free",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			nTiles := c.n(8, 24, 48, 96)
+			pixels := c.n(6, 12, 16, 24)
+			bvh := m.AllocShared(192*8, 64)
+			fb := m.AllocShared(nTiles*pixels*8, 64)
+			next := m.AllocShared(8, 8)
+			qLock := m.NewMutex()
+			root := func(t *machine.Thread) {
+				for i := 0; i < 192; i++ {
+					t.StoreF64(bvh+uint64(i*8), float64(i%31))
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					for {
+						w.Lock(qLock)
+						tile := w.LoadU64(next)
+						if tile < uint64(nTiles) {
+							w.StoreU64(next, tile+1)
+						}
+						w.Unlock(qLock)
+						if tile >= uint64(nTiles) {
+							return
+						}
+						for p := 0; p < pixels; p++ {
+							var acc float64
+							node := (int(tile)*11 + p) % 192
+							for d := 0; d < 5; d++ {
+								acc += w.LoadF64(bvh + uint64(node*8))
+								node = (node*2 + 1) % 192
+								work(w, 4)
+							}
+							w.StoreF64(fb+(tile*uint64(pixels)+uint64(p))*8, acc)
+						}
+					}
+				})
+			}
+			return root, Output{Addr: fb, Len: nTiles * pixels * 8}
+		},
+	}
+}
+
+// streamcluster: k-median clustering — the paper's most barrier-intensive
+// benchmark. Points are assigned to centers between barriers; the
+// unmodified variant accumulates the clustering cost without the lock.
+func streamcluster() Workload {
+	return Workload{
+		Name: "streamcluster", Suite: "parsec", Racy: true, HasModified: true,
+		Desc: "barrier-heavy k-median; racy cost reduction",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			nPoints := c.n(32, 128, 256, 512)
+			k := 4
+			rounds := c.n(2, 3, 4, 4)
+			points := m.AllocShared(nPoints*8, 64)
+			centers := m.AllocShared(k*8, 64)
+			assign := m.AllocShared(nPoints*8, 64)
+			cost := m.AllocShared(8, 8)
+			cLock := m.NewMutex()
+			bar := m.NewBarrier(NumThreads)
+			root := func(t *machine.Thread) {
+				for i := 0; i < nPoints; i++ {
+					t.StoreF64(points+uint64(i*8), float64(i%41))
+				}
+				for j := 0; j < k; j++ {
+					t.StoreF64(centers+uint64(j*8), float64(j*10))
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					lo, hi := chunk(nPoints, id)
+					for rd := 0; rd < rounds; rd++ {
+						local := 0.0
+						for i := lo; i < hi; i++ {
+							x := w.LoadF64(points + uint64(i*8))
+							best, bestD := 0, 1e18
+							for j := 0; j < k; j++ {
+								cj := w.LoadF64(centers + uint64(j*8))
+								d := (x - cj) * (x - cj)
+								if d < bestD {
+									best, bestD = j, d
+								}
+								work(w, 3)
+							}
+							w.StoreU64(assign+uint64(i*8), uint64(best))
+							local += bestD
+						}
+						c.bumpStatF(w, cLock, cost, local)
+						w.BarrierWait(bar)
+						// Center 'id % k' nudged by its owner thread.
+						if id < k {
+							cj := w.LoadF64(centers + uint64(id*8))
+							w.StoreF64(centers+uint64(id*8), cj*0.95+1)
+						}
+						w.BarrierWait(bar)
+					}
+				})
+			}
+			return root, Output{Addr: assign, Len: nPoints * 8}
+		},
+	}
+}
+
+// swaptions: independent Monte-Carlo pricing per swaption — almost no
+// sharing, the cheapest benchmark for every CLEAN mechanism. Race-free.
+func swaptions() Workload {
+	return Workload{
+		Name: "swaptions", Suite: "parsec", Racy: false, HasModified: true,
+		Desc: "independent Monte-Carlo trials; minimal sharing, race-free",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			n := c.n(16, 32, 64, 128)
+			trials := c.n(4, 8, 16, 24)
+			params := m.AllocShared(n*8, 64)
+			out := m.AllocShared(n*8, 64)
+			root := func(t *machine.Thread) {
+				for i := 0; i < n; i++ {
+					t.StoreF64(params+uint64(i*8), float64(i%13)+1)
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					lo, hi := chunk(n, id)
+					for i := lo; i < hi; i++ {
+						p := w.LoadF64(params + uint64(i*8))
+						r := newLCG(uint64(i) + 11)
+						var sum float64
+						for tr := 0; tr < trials; tr++ {
+							sum += p * r.float()
+							work(w, 12)
+						}
+						w.StoreF64(out+uint64(i*8), sum/float64(trials))
+					}
+				})
+			}
+			return root, Output{Addr: out, Len: n * 8}
+		},
+	}
+}
+
+// vips: the image-processing pipeline — row bands flow through stage
+// queues, each stage transforms a shared band buffer it owns via
+// lock-managed reference counts. The unmodified variant bumps refcounts
+// without the lock.
+func vips() Workload {
+	return Workload{
+		Name: "vips", Suite: "parsec", Racy: true, HasModified: true,
+		Desc: "image pipeline with buffer refcounts; racy refcount",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			nBands := c.n(8, 24, 48, 96)
+			bandLen := c.n(32, 64, 128, 192)
+			img := m.AllocShared(nBands*bandLen, 64) // byte pixels
+			refs := m.AllocShared(nBands*8, 64)
+			cacheStat := m.AllocShared(8, 8)
+			refLock := m.NewMutex()
+			statLock := m.NewMutex()
+			q1 := newQueue(m, 8)
+			q2 := newQueue(m, 8)
+			gate := newStageGate(m)
+			const stage2 = 4
+			const stage3 = 3
+			root := func(t *machine.Thread) {
+				r := newLCG(13)
+				total := nBands * bandLen
+				for i := 0; i+8 <= total; i += 8 {
+					var wv uint64
+					for b := 0; b < 8; b++ {
+						wv |= uint64(uint8(r.intn(256))) << (8 * b)
+					}
+					t.StoreU64(img+uint64(i), wv)
+				}
+				for i := total &^ 7; i < total; i++ {
+					t.StoreU8(img+uint64(i), uint8(r.intn(256)))
+				}
+				gate.init(t, stage2)
+				forkJoin(t, func(w *machine.Thread, id int) {
+					switch {
+					case id == 0: // source stage
+						for b := 0; b < nBands; b++ {
+							work(w, bandLen/2) // decode the band
+							w.Lock(refLock)
+							w.StoreU64(refs+uint64(b*8), 1)
+							w.Unlock(refLock)
+							q1.put(w, uint64(b))
+						}
+						for i := 0; i < stage2; i++ {
+							q1.put(w, done)
+						}
+					case id <= stage2: // sharpen stage
+						for {
+							b := q1.get(w)
+							if b == done {
+								gate.producerDone(w, q2, stage3)
+								break
+							}
+							base := img + b*uint64(bandLen)
+							// Word-granular pixel processing, as the
+							// real SIMD convolution kernels do.
+							for px := 0; px+8 <= bandLen; px += 8 {
+								v := w.LoadU64(base + uint64(px))
+								w.StoreU64(base+uint64(px), v>>1&0x7F7F7F7F7F7F7F7F|0x2020202020202020)
+								work(w, 16)
+							}
+							// Tile-cache statistics shared by the four
+							// sharpen workers — unprotected in the
+							// unmodified benchmark.
+							c.bumpStatU(w, statLock, cacheStat, 1)
+							q2.put(w, b)
+						}
+					default: // sink stage
+						for {
+							b := q2.get(w)
+							if b == done {
+								break
+							}
+							w.Lock(refLock)
+							w.StoreU64(refs+uint64(b*8), w.LoadU64(refs+uint64(b*8))+1)
+							w.Unlock(refLock)
+						}
+					}
+				})
+			}
+			return root, Output{Addr: img, Len: nBands * bandLen}
+		},
+	}
+}
+
+// x264: wavefront encoding — each macroblock row depends on the previous
+// row's progress, coordinated with a condition variable per row. The
+// unmodified variant counts output NAL bytes without the lock.
+func x264() Workload {
+	return Workload{
+		Name: "x264", Suite: "parsec", Racy: true, HasModified: true,
+		Desc: "wavefront row dependencies via condvars; racy NAL counter",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			rows := NumThreads
+			cols := c.n(8, 24, 48, 96)
+			frame := m.AllocShared(rows*cols*8, 64)
+			progress := m.AllocShared(rows*8, 64)
+			nal := m.AllocShared(8, 8)
+			nalLock := m.NewMutex()
+			pLock := m.NewMutex()
+			pCond := m.NewCond()
+			root := func(t *machine.Thread) {
+				for i := 0; i < rows*cols; i++ {
+					t.StoreU64(frame+uint64(i*8), uint64(i%63))
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					row := id
+					for col := 0; col < cols; col++ {
+						// Wait until the row above is two columns ahead.
+						if row > 0 {
+							w.Lock(pLock)
+							for w.LoadU64(progress+uint64((row-1)*8)) < uint64(min(col+2, cols)) {
+								w.CondWait(pCond, pLock)
+							}
+							w.Unlock(pLock)
+						}
+						// Encode the macroblock from the neighbours.
+						a := frame + uint64((row*cols+col)*8)
+						v := w.LoadU64(a)
+						if row > 0 {
+							v += w.LoadU64(frame + uint64(((row-1)*cols+col)*8))
+						}
+						if col > 0 {
+							v += w.LoadU64(frame + uint64((row*cols+col-1)*8))
+						}
+						work(w, 80) // motion estimation + entropy coding
+						w.StoreU64(a, v%1021)
+						c.bumpStatU(w, nalLock, nal, v%7+1)
+						// Publish progress.
+						w.Lock(pLock)
+						w.StoreU64(progress+uint64(row*8), uint64(col+1))
+						w.Broadcast(pCond)
+						w.Unlock(pLock)
+					}
+				})
+			}
+			return root, Output{Addr: frame, Len: rows * cols * 8}
+		},
+	}
+}

@@ -1,0 +1,726 @@
+package workloads
+
+import "repro/internal/machine"
+
+// splash2 returns the 14 SPLASH-2 kernels.
+func splash2() []Workload {
+	return []Workload{
+		barnes(), cholesky(), fft(), fmm(), luCB(), luNCB(),
+		oceanCP(), oceanNCP(), radiosity(), radix(), raytrace(),
+		volrend(), waterNsquared(), waterSpatial(),
+	}
+}
+
+// barnes: hierarchical n-body. Barrier-separated steps: a global-bounds
+// reduction, locked insertion of bodies into spatial cells, then a force
+// phase that reads cells and writes the thread's own bodies. The
+// unmodified variant updates the global bounds without the lock — an
+// unprotected reduction (WAW).
+func barnes() Workload {
+	return Workload{
+		Name: "barnes", Suite: "splash2", Racy: true, HasModified: true,
+		Desc: "tree n-body: barrier phases, per-cell locks, racy bounds reduction",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			nBodies := c.n(32, 128, 384, 768)
+			nCells := 64
+			steps := c.n(1, 2, 2, 3)
+			bodies := m.AllocShared(nBodies*32, 64) // x, y, vx, vy
+			cells := m.AllocShared(nCells*16, 64)   // mass, count
+			bounds := m.AllocShared(16, 8)          // min, max
+			bLock := m.NewMutex()
+			cellLocks := make([]*machine.Mutex, nCells)
+			for i := range cellLocks {
+				cellLocks[i] = m.NewMutex()
+			}
+			bar := m.NewBarrier(NumThreads)
+			root := func(t *machine.Thread) {
+				for i := 0; i < nBodies; i++ {
+					r := newLCG(uint64(i))
+					t.StoreF64(bodies+uint64(i*32), r.float()*100)
+					t.StoreF64(bodies+uint64(i*32+8), r.float()*100)
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					lo, hi := chunk(nBodies, id)
+					for s := 0; s < steps; s++ {
+						// Bounds reduction (racy in unmodified).
+						localMax := 0.0
+						for i := lo; i < hi; i++ {
+							x := w.LoadF64(bodies + uint64(i*32))
+							if x > localMax {
+								localMax = x
+							}
+							work(w, 1)
+						}
+						c.bumpStatF(w, bLock, bounds+8, localMax)
+						w.BarrierWait(bar)
+						// Tree (cell) build under per-cell locks.
+						for i := lo; i < hi; i++ {
+							x := w.LoadF64(bodies + uint64(i*32))
+							cell := int(x) % nCells
+							if cell < 0 {
+								cell = 0
+							}
+							w.Lock(cellLocks[cell])
+							w.StoreF64(cells+uint64(cell*16), w.LoadF64(cells+uint64(cell*16))+1)
+							w.StoreU64(cells+uint64(cell*16+8), w.LoadU64(cells+uint64(cell*16+8))+1)
+							w.Unlock(cellLocks[cell])
+						}
+						w.BarrierWait(bar)
+						// Force phase: read cells, write own bodies.
+						for i := lo; i < hi; i++ {
+							var f float64
+							for k := 0; k < 8; k++ {
+								cell := (i + k*7) % nCells
+								f += w.LoadF64(cells + uint64(cell*16))
+								work(w, 12) // force kernel
+							}
+							w.StoreF64(bodies+uint64(i*32+16), f*1e-3)
+							w.StoreF64(bodies+uint64(i*32), w.LoadF64(bodies+uint64(i*32))+f*1e-6)
+						}
+						w.BarrierWait(bar)
+					}
+				})
+			}
+			return root, Output{Addr: bodies, Len: nBodies * 32}
+		},
+	}
+}
+
+// cholesky: sparse factorization driven by a lock-protected task pile;
+// column updates take per-column locks. The unmodified variant counts
+// completed tasks without the lock.
+func cholesky() Workload {
+	return Workload{
+		Name: "cholesky", Suite: "splash2", Racy: true, HasModified: true,
+		Desc: "task-pile factorization, per-column locks, racy task counter",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			nCols := c.n(16, 48, 96, 160)
+			colLen := c.n(8, 16, 24, 32)
+			cols := m.AllocShared(nCols*colLen*8, 64)
+			next := m.AllocShared(8, 8)  // task index
+			stats := m.AllocShared(8, 8) // tasks done
+			pileLock := m.NewMutex()
+			statLock := m.NewMutex()
+			colLocks := make([]*machine.Mutex, nCols)
+			for i := range colLocks {
+				colLocks[i] = m.NewMutex()
+			}
+			root := func(t *machine.Thread) {
+				for j := 0; j < nCols*colLen; j++ {
+					t.StoreF64(cols+uint64(j*8), float64(j%7)+1)
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					for {
+						w.Lock(pileLock)
+						j := w.LoadU64(next)
+						if j < uint64(nCols) {
+							w.StoreU64(next, j+1)
+						}
+						w.Unlock(pileLock)
+						if j >= uint64(nCols) {
+							return
+						}
+						// Update column j from a prior column.
+						src := uint64(0)
+						if j > 0 {
+							src = (j - 1) / 2
+						}
+						for k := 0; k < colLen; k++ {
+							w.Lock(colLocks[src])
+							v := w.LoadF64(cols + (src*uint64(colLen)+uint64(k))*8)
+							w.Unlock(colLocks[src])
+							work(w, 25) // supernode arithmetic
+							w.Lock(colLocks[j])
+							a := cols + (j*uint64(colLen)+uint64(k))*8
+							w.StoreF64(a, w.LoadF64(a)-v*0.25)
+							w.Unlock(colLocks[j])
+						}
+						c.bumpStatU(w, statLock, stats, 1)
+					}
+				})
+			}
+			return root, Output{Addr: cols, Len: nCols * colLen * 8}
+		},
+	}
+}
+
+// fft: the six-step 1D FFT skeleton — barrier-separated local compute and
+// an all-to-all transpose that reads other threads' partitions and writes
+// the thread's own. Race-free as shipped.
+func fft() Workload {
+	return Workload{
+		Name: "fft", Suite: "splash2", Racy: false, HasModified: true,
+		Desc: "barrier phases with all-to-all transpose; race-free",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			perThread := c.n(32, 128, 256, 512)
+			n := perThread * NumThreads
+			src := m.AllocShared(n*8, 64)
+			dst := m.AllocShared(n*8, 64)
+			bar := m.NewBarrier(NumThreads)
+			root := func(t *machine.Thread) {
+				for i := 0; i < n; i++ {
+					t.StoreF64(src+uint64(i*8), float64(i%97))
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					// Per-worker copies: every thread swaps its own view
+					// of the ping-pong buffers in lockstep (barriers keep
+					// the views aligned).
+					cur, nxt := src, dst
+					lo, hi := chunk(n, id)
+					for phase := 0; phase < 3; phase++ {
+						// Local butterfly pass over own partition.
+						for i := lo; i < hi; i++ {
+							j := lo + (i-lo+perThread/2)%perThread
+							a := w.LoadF64(cur + uint64(i*8))
+							b := w.LoadF64(cur + uint64(j*8))
+							work(w, 4)
+							w.StoreF64(cur+uint64(i*8), a+b*0.5)
+						}
+						w.BarrierWait(bar)
+						// Transpose: gather from every partition into own
+						// rows of nxt.
+						for i := lo; i < hi; i++ {
+							k := (i * NumThreads) % n
+							v := w.LoadF64(cur + uint64(k*8))
+							w.StoreF64(nxt+uint64(i*8), v)
+						}
+						w.BarrierWait(bar)
+						cur, nxt = nxt, cur
+					}
+				})
+			}
+			// Three phases: the final transpose lands in dst.
+			return root, Output{Addr: dst, Len: n * 8}
+		},
+	}
+}
+
+// fmm: adaptive fast multipole — many small critical sections transferring
+// cell contributions, i.e. the frequent-synchronization profile the paper
+// calls out for deterministic-sync overhead. Racy cost-zone statistics.
+func fmm() Workload {
+	return Workload{
+		Name: "fmm", Suite: "splash2", Racy: true, HasModified: true,
+		Desc: "frequent small critical sections; racy cost-zone stats",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			nCells := c.n(16, 32, 48, 64)
+			interactions := c.n(64, 256, 512, 1024)
+			cells := m.AllocShared(nCells*16, 64)
+			stats := m.AllocShared(8, 8)
+			statLock := m.NewMutex()
+			cellLocks := make([]*machine.Mutex, nCells)
+			for i := range cellLocks {
+				cellLocks[i] = m.NewMutex()
+			}
+			root := func(t *machine.Thread) {
+				forkJoin(t, func(w *machine.Thread, id int) {
+					r := newLCG(uint64(id) + 1)
+					for i := 0; i < interactions; i++ {
+						a, b := r.intn(nCells), r.intn(nCells)
+						w.Lock(cellLocks[a])
+						v := w.LoadF64(cells + uint64(a*16))
+						w.Unlock(cellLocks[a])
+						work(w, 30) // multipole expansion math
+						w.Lock(cellLocks[b])
+						w.StoreF64(cells+uint64(b*16), w.LoadF64(cells+uint64(b*16))+v*0.1+1)
+						w.Unlock(cellLocks[b])
+						if i%8 == 0 { // batched cost-zone statistics
+							c.bumpStatU(w, statLock, stats, 8)
+						}
+					}
+				})
+			}
+			return root, Output{Addr: cells, Len: nCells * 16}
+		},
+	}
+}
+
+// lu builds both LU variants: dense blocked factorization with barriers
+// between steps. Shared accesses dominate the instruction stream — these
+// two are the paper's highest shared-access-frequency benchmarks (Fig. 7)
+// and its worst software-detection slowdowns. The contiguous variant
+// allocates each block contiguously; the non-contiguous variant uses a
+// global row-major layout with strided element access.
+func lu(name string, contiguous bool) Workload {
+	return Workload{
+		Name: name, Suite: "splash2", Racy: false, HasModified: true,
+		Desc: "dense blocked LU: barriers only, extreme shared-access frequency",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			nb := c.n(4, 6, 8, 10) // blocks per side
+			bs := 8                // block side (elements)
+			side := nb * bs
+			mat := m.AllocShared(side*side*8, 64)
+			bar := m.NewBarrier(NumThreads)
+			// elem returns the address of element (i, j) of block (bi, bj).
+			elem := func(bi, bj, i, j int) uint64 {
+				if contiguous {
+					blockBase := (bi*nb + bj) * bs * bs
+					return mat + uint64((blockBase+i*bs+j)*8)
+				}
+				return mat + uint64(((bi*bs+i)*side+bj*bs+j)*8)
+			}
+			root := func(t *machine.Thread) {
+				for i := 0; i < side*side; i++ {
+					t.StoreF64(mat+uint64(i*8), float64(i%13)+1)
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					for k := 0; k < nb; k++ {
+						// Diagonal block factorized by its owner.
+						if (k*nb+k)%NumThreads == id {
+							for i := 0; i < bs; i++ {
+								for j := 0; j < bs; j++ {
+									a := elem(k, k, i, j)
+									w.StoreF64(a, w.LoadF64(a)*0.99)
+								}
+							}
+						}
+						w.BarrierWait(bar)
+						// Interior updates: each thread owns blocks by
+						// round-robin; reads pivot row/column blocks.
+						for bi := k + 1; bi < nb; bi++ {
+							for bj := k + 1; bj < nb; bj++ {
+								if (bi*nb+bj)%NumThreads != id {
+									continue
+								}
+								for i := 0; i < bs; i++ {
+									for j := 0; j < bs; j++ {
+										l := w.LoadF64(elem(bi, k, i, j))
+										u := w.LoadF64(elem(k, bj, i, j))
+										a := elem(bi, bj, i, j)
+										w.StoreF64(a, w.LoadF64(a)-l*u*1e-3)
+									}
+								}
+							}
+						}
+						w.BarrierWait(bar)
+					}
+				})
+			}
+			return root, Output{Addr: mat, Len: side * side * 8}
+		},
+	}
+}
+
+func luCB() Workload  { return lu("lu_cb", true) }
+func luNCB() Workload { return lu("lu_ncb", false) }
+
+// ocean builds both ocean variants: red-black grid relaxation with
+// barriers and a global residual reduction. Large streaming grids give it
+// the high LLC miss rate Fig. 11 highlights. The unmodified variant
+// accumulates the residual without the lock. The contiguous-partition
+// variant gives each thread a contiguous band of rows; the non-contiguous
+// one interleaves rows across threads.
+func ocean(name string, contiguous bool) Workload {
+	return Workload{
+		Name: name, Suite: "splash2", Racy: true, HasModified: true,
+		Desc: "grid stencil with barriers, high LLC miss; racy residual reduction",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			side := c.n(16, 40, 64, 96)
+			iters := c.n(2, 3, 4, 4)
+			grid := m.AllocShared(side*side*8, 64)
+			resid := m.AllocShared(8, 8)
+			rLock := m.NewMutex()
+			bar := m.NewBarrier(NumThreads)
+			rowOwner := func(r int) int {
+				if contiguous {
+					per := (side + NumThreads - 1) / NumThreads
+					return r / per
+				}
+				return r % NumThreads
+			}
+			at := func(r, col int) uint64 { return grid + uint64((r*side+col)*8) }
+			root := func(t *machine.Thread) {
+				for i := 0; i < side*side; i++ {
+					t.StoreF64(grid+uint64(i*8), float64(i%11))
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					for it := 0; it < iters; it++ {
+						for color := 0; color < 2; color++ {
+							local := 0.0
+							for r := 1; r < side-1; r++ {
+								if rowOwner(r) != id {
+									continue
+								}
+								for col := 1 + (r+color)%2; col < side-1; col += 2 {
+									up := w.LoadF64(at(r-1, col))
+									down := w.LoadF64(at(r+1, col))
+									left := w.LoadF64(at(r, col-1))
+									right := w.LoadF64(at(r, col+1))
+									old := w.LoadF64(at(r, col))
+									nv := (up + down + left + right) * 0.25
+									w.StoreF64(at(r, col), nv)
+									local += nv - old
+									work(w, 2)
+								}
+							}
+							c.bumpStatF(w, rLock, resid, local)
+							w.BarrierWait(bar)
+						}
+					}
+				})
+			}
+			return root, Output{Addr: grid, Len: side * side * 8}
+		},
+	}
+}
+
+func oceanCP() Workload  { return ocean("ocean_cp", true) }
+func oceanNCP() Workload { return ocean("ocean_ncp", false) }
+
+// radiosity: task-stealing work queues with very frequent locking; each
+// task updates the visibility of another patch under that patch's lock and
+// may enqueue follow-on work. The unmodified variant keeps a racy global
+// convergence accumulator.
+func radiosity() Workload {
+	return Workload{
+		Name: "radiosity", Suite: "splash2", Racy: true, HasModified: true,
+		Desc: "task stealing, very frequent locks; racy convergence stat",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			nPatches := c.n(16, 32, 64, 96)
+			initialTasks := c.n(24, 96, 192, 384)
+			patches := m.AllocShared(nPatches*16, 64)
+			conv := m.AllocShared(8, 8)
+			convLock := m.NewMutex()
+			patchLocks := make([]*machine.Mutex, nPatches)
+			for i := range patchLocks {
+				patchLocks[i] = m.NewMutex()
+			}
+			// Per-thread deques: base + count guarded by a lock each.
+			type deque struct {
+				items uint64
+				count uint64
+				lock  *machine.Mutex
+			}
+			deques := make([]*deque, NumThreads)
+			maxTasks := initialTasks * 4
+			for i := range deques {
+				deques[i] = &deque{
+					items: m.AllocShared(maxTasks*8, 64),
+					count: m.AllocShared(8, 8),
+					lock:  m.NewMutex(),
+				}
+			}
+			pop := func(w *machine.Thread, d *deque) (uint64, bool) {
+				w.Lock(d.lock)
+				n := w.LoadU64(d.count)
+				if n == 0 {
+					w.Unlock(d.lock)
+					return 0, false
+				}
+				v := w.LoadU64(d.items + (n-1)*8)
+				w.StoreU64(d.count, n-1)
+				w.Unlock(d.lock)
+				return v, true
+			}
+			push := func(w *machine.Thread, d *deque, v uint64) {
+				w.Lock(d.lock)
+				n := w.LoadU64(d.count)
+				if n < uint64(maxTasks) {
+					w.StoreU64(d.items+n*8, v)
+					w.StoreU64(d.count, n+1)
+				}
+				w.Unlock(d.lock)
+			}
+			root := func(t *machine.Thread) {
+				// Seed each deque. No locks needed: the spawn edge
+				// orders this against the workers.
+				for i := 0; i < initialTasks; i++ {
+					d := deques[i%NumThreads]
+					n := t.LoadU64(d.count)
+					t.StoreU64(d.items+n*8, uint64(i%nPatches))
+					t.StoreU64(d.count, n+1)
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					r := newLCG(uint64(id) * 31)
+					idle := 0
+					for idle < NumThreads {
+						task, ok := pop(w, deques[id])
+						if !ok {
+							// Steal.
+							victim := r.intn(NumThreads)
+							task, ok = pop(w, deques[victim])
+						}
+						if !ok {
+							idle++
+							work(w, 5)
+							continue
+						}
+						idle = 0
+						p := int(task) % nPatches
+						q := (p*7 + 3) % nPatches
+						w.Lock(patchLocks[p])
+						v := w.LoadF64(patches + uint64(p*16))
+						w.Unlock(patchLocks[p])
+						work(w, 60) // form-factor computation
+						w.Lock(patchLocks[q])
+						w.StoreF64(patches+uint64(q*16), w.LoadF64(patches+uint64(q*16))+v*0.3+1)
+						w.Unlock(patchLocks[q])
+						if task%4 == 0 { // batched convergence stat
+							c.bumpStatF(w, convLock, conv, 0.04)
+						}
+						if r.intn(4) == 0 {
+							push(w, deques[id], uint64(q))
+						}
+					}
+				})
+			}
+			return root, Output{Addr: patches, Len: nPatches * 16}
+		},
+	}
+}
+
+// radix: parallel radix sort — private histograms, a barrier-ordered
+// global merge and prefix, then a scattering permutation whose writes are
+// disjoint but cache-hostile (high LLC miss). Race-free.
+func radix() Workload {
+	return Workload{
+		Name: "radix", Suite: "splash2", Racy: false, HasModified: true,
+		Desc: "histogram + scatter permutation; disjoint writes, high miss rate",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			n := c.n(64, 512, 1024, 2048)
+			const radixBits = 4
+			const buckets = 1 << radixBits
+			keys := m.AllocShared(n*8, 64)
+			out := m.AllocShared(n*8, 64)
+			hist := m.AllocShared(NumThreads*buckets*8, 64)
+			rank := m.AllocShared(NumThreads*buckets*8, 64)
+			bar := m.NewBarrier(NumThreads)
+			root := func(t *machine.Thread) {
+				r := newLCG(42)
+				for i := 0; i < n; i++ {
+					t.StoreU64(keys+uint64(i*8), r.next()%4096)
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					// Per-worker buffer views, swapped in lockstep.
+					src, dst := keys, out
+					for pass := 0; pass < 2; pass++ {
+						shift := uint(pass * radixBits)
+						lo, hi := chunk(n, id)
+						// Zero own histogram row.
+						for b := 0; b < buckets; b++ {
+							w.StoreU64(hist+uint64((id*buckets+b)*8), 0)
+						}
+						for i := lo; i < hi; i++ {
+							k := w.LoadU64(src + uint64(i*8))
+							b := (k >> shift) % buckets
+							a := hist + uint64((id*buckets+int(b))*8)
+							w.StoreU64(a, w.LoadU64(a)+1)
+						}
+						w.BarrierWait(bar)
+						// Thread 0 computes global ranks.
+						if id == 0 {
+							pos := uint64(0)
+							for b := 0; b < buckets; b++ {
+								for th := 0; th < NumThreads; th++ {
+									cnt := w.LoadU64(hist + uint64((th*buckets+b)*8))
+									w.StoreU64(rank+uint64((th*buckets+b)*8), pos)
+									pos += cnt
+								}
+							}
+						}
+						w.BarrierWait(bar)
+						// Scatter into dst at reserved positions.
+						for i := lo; i < hi; i++ {
+							k := w.LoadU64(src + uint64(i*8))
+							b := (k >> shift) % buckets
+							a := rank + uint64((id*buckets+int(b))*8)
+							pos := w.LoadU64(a)
+							w.StoreU64(a, pos+1)
+							w.StoreU64(dst+pos*8, k)
+						}
+						w.BarrierWait(bar)
+						src, dst = dst, src
+					}
+				})
+			}
+			return root, Output{Addr: keys, Len: n * 8}
+		},
+	}
+}
+
+// raytrace: a lock-protected tile queue over a read-only scene; pixels of
+// a tile belong to one thread. The unmodified variant has the benchmark's
+// famous racy global ray-id counter.
+func raytrace() Workload {
+	return Workload{
+		Name: "raytrace", Suite: "splash2", Racy: true, HasModified: true,
+		Desc: "tile queue over read-only scene; racy ray-id counter",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			nTiles := c.n(8, 24, 48, 96)
+			tilePixels := c.n(8, 16, 24, 32)
+			sceneCells := 128
+			scene := m.AllocShared(sceneCells*8, 64)
+			image := m.AllocShared(nTiles*tilePixels*8, 64)
+			next := m.AllocShared(8, 8)
+			rayID := m.AllocShared(8, 8)
+			qLock := m.NewMutex()
+			idLock := m.NewMutex()
+			root := func(t *machine.Thread) {
+				for i := 0; i < sceneCells; i++ {
+					t.StoreF64(scene+uint64(i*8), float64(i%17))
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					for {
+						w.Lock(qLock)
+						tile := w.LoadU64(next)
+						if tile < uint64(nTiles) {
+							w.StoreU64(next, tile+1)
+						}
+						w.Unlock(qLock)
+						if tile >= uint64(nTiles) {
+							return
+						}
+						for p := 0; p < tilePixels; p++ {
+							c.bumpStatU(w, idLock, rayID, 1)
+							var shade float64
+							for hop := 0; hop < 4; hop++ {
+								cell := (int(tile)*13 + p*7 + hop*29) % sceneCells
+								shade += w.LoadF64(scene + uint64(cell*8))
+								work(w, 15) // intersection tests
+							}
+							w.StoreF64(image+(tile*uint64(tilePixels)+uint64(p))*8, shade)
+						}
+					}
+				})
+			}
+			return root, Output{Addr: image, Len: nTiles * tilePixels * 8}
+		},
+	}
+}
+
+// volrend: volume rendering with a tile queue; reads a shared volume,
+// writes private image tiles. Racy early-termination statistics.
+func volrend() Workload {
+	return Workload{
+		Name: "volrend", Suite: "splash2", Racy: true, HasModified: true,
+		Desc: "tile queue over shared volume; racy opacity stats",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			nTiles := c.n(8, 24, 48, 96)
+			raysPerTile := c.n(8, 12, 16, 24)
+			volCells := 256
+			vol := m.AllocShared(volCells, 64) // byte voxels
+			image := m.AllocShared(nTiles*raysPerTile*8, 64)
+			next := m.AllocShared(8, 8)
+			stat := m.AllocShared(8, 8)
+			qLock := m.NewMutex()
+			sLock := m.NewMutex()
+			root := func(t *machine.Thread) {
+				for i := 0; i < volCells; i += 8 {
+					var wv uint64
+					for b := 0; b < 8; b++ {
+						wv |= uint64(uint8((i+b)*37)) << (8 * b)
+					}
+					t.StoreU64(vol+uint64(i), wv)
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					for {
+						w.Lock(qLock)
+						tile := w.LoadU64(next)
+						if tile < uint64(nTiles) {
+							w.StoreU64(next, tile+1)
+						}
+						w.Unlock(qLock)
+						if tile >= uint64(nTiles) {
+							return
+						}
+						for ray := 0; ray < raysPerTile; ray++ {
+							var acc uint64
+							for s := 0; s < 6; s++ {
+								vox := (int(tile)*31 + ray*11 + s*5) % volCells
+								acc += uint64(w.LoadU8(vol + uint64(vox)))
+								work(w, 10) // trilinear interpolation
+								if acc > 900 {
+									c.bumpStatU(w, sLock, stat, 1)
+									break
+								}
+							}
+							w.StoreU64(image+(tile*uint64(raysPerTile)+uint64(ray))*8, acc)
+						}
+					}
+				})
+			}
+			return root, Output{Addr: image, Len: nTiles * raysPerTile * 8}
+		},
+	}
+}
+
+// water builds both water variants: molecular dynamics with per-molecule
+// (or per-cell) locks for inter-molecule force corrections and a global
+// potential-energy reduction that the unmodified variants leave unlocked.
+func water(name string, spatial bool) Workload {
+	return Workload{
+		Name: name, Suite: "splash2", Racy: true, HasModified: true,
+		Desc: "molecular dynamics, per-molecule locks; racy energy reduction",
+		build: func(c *buildCtx) (func(*machine.Thread), Output) {
+			m := c.m
+			nMol := c.n(16, 48, 96, 144)
+			steps := c.n(1, 2, 2, 3)
+			mol := m.AllocShared(nMol*24, 64) // pos, vel, force
+			energy := m.AllocShared(8, 8)
+			eLock := m.NewMutex()
+			molLocks := make([]*machine.Mutex, nMol)
+			for i := range molLocks {
+				molLocks[i] = m.NewMutex()
+			}
+			bar := m.NewBarrier(NumThreads)
+			// neighbour picks interaction partners: all-pairs sampling for
+			// nsquared, spatially local ones for spatial.
+			neighbour := func(i, k int) int {
+				if spatial {
+					return (i + k + 1) % nMol
+				}
+				return (i*7 + k*13 + 1) % nMol
+			}
+			root := func(t *machine.Thread) {
+				for i := 0; i < nMol; i++ {
+					t.StoreF64(mol+uint64(i*24), float64(i)*1.5)
+				}
+				forkJoin(t, func(w *machine.Thread, id int) {
+					lo, hi := chunk(nMol, id)
+					for s := 0; s < steps; s++ {
+						local := 0.0
+						for i := lo; i < hi; i++ {
+							xi := w.LoadF64(mol + uint64(i*24))
+							for k := 0; k < 6; k++ {
+								j := neighbour(i, k)
+								xj := w.LoadF64(mol + uint64(j*24))
+								f := (xi - xj) * 1e-3
+								local += f * f
+								work(w, 25) // pair potential evaluation
+								// Correct partner force under its lock.
+								w.Lock(molLocks[j])
+								a := mol + uint64(j*24+16)
+								w.StoreF64(a, w.LoadF64(a)-f)
+								w.Unlock(molLocks[j])
+							}
+						}
+						c.bumpStatF(w, eLock, energy, local)
+						w.BarrierWait(bar)
+						// Integrate own molecules.
+						for i := lo; i < hi; i++ {
+							f := w.LoadF64(mol + uint64(i*24+16))
+							v := w.LoadF64(mol+uint64(i*24+8)) + f*0.01
+							w.StoreF64(mol+uint64(i*24+8), v)
+							w.StoreF64(mol+uint64(i*24), w.LoadF64(mol+uint64(i*24))+v*0.01)
+						}
+						w.BarrierWait(bar)
+					}
+				})
+			}
+			return root, Output{Addr: mol, Len: nMol * 24}
+		},
+	}
+}
+
+func waterNsquared() Workload { return water("water_nsquared", false) }
+func waterSpatial() Workload  { return water("water_spatial", true) }

@@ -1,0 +1,321 @@
+// Package workloads provides stand-in kernels for the 26 SPLASH-2 and
+// PARSEC benchmarks of the paper's evaluation (§6.1): every benchmark the
+// paper runs has a kernel here with the sharing and synchronization
+// signature that drives its results. See doc.go for the signature table
+// and the racy ("unmodified") set.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// NumThreads is the thread count of every kernel, matching the paper's
+// 8-thread runs.
+const NumThreads = 8
+
+// Scale selects an input size, mirroring the paper's use of PARSEC input
+// classes (§6): ScaleSimSmall for the hardware simulation, ScaleSimLarge
+// for the detection/determinism experiments, ScaleNative for performance.
+// ScaleTest is a tiny size for unit tests.
+type Scale int
+
+// Input scales.
+const (
+	ScaleTest Scale = iota
+	ScaleSimSmall
+	ScaleSimLarge
+	ScaleNative
+)
+
+var scaleNames = [...]string{"test", "simsmall", "simlarge", "native"}
+
+func (s Scale) String() string {
+	if int(s) < len(scaleNames) {
+		return scaleNames[s]
+	}
+	return "scale?"
+}
+
+// ParseScale converts a name to a Scale.
+func ParseScale(name string) (Scale, error) {
+	for i, n := range scaleNames {
+		if n == name {
+			return Scale(i), nil
+		}
+	}
+	return 0, fmt.Errorf("workloads: unknown scale %q", name)
+}
+
+// Variant selects the unmodified (possibly racy) or modified (race-free)
+// version of a benchmark, the two suites of §6.1.
+type Variant int
+
+// Benchmark variants.
+const (
+	// Unmodified is the original benchmark; 17 of 26 contain data races.
+	Unmodified Variant = iota
+	// Modified has all races removed, as the paper did with
+	// ThreadSanitizer reports. canneal has no modified variant.
+	Modified
+)
+
+func (v Variant) String() string {
+	if v == Unmodified {
+		return "unmodified"
+	}
+	return "modified"
+}
+
+// Output designates the memory region holding a workload's result, hashed
+// by the determinism experiments.
+type Output struct {
+	Addr uint64
+	Len  int
+}
+
+// Workload is one benchmark stand-in.
+type Workload struct {
+	// Name is the paper's benchmark name.
+	Name string
+	// Suite is "splash2" or "parsec".
+	Suite string
+	// Racy reports whether the Unmodified variant contains data races.
+	Racy bool
+	// HasModified is false only for canneal (§6.1: its lock-free
+	// synchronization has too many races to remove).
+	HasModified bool
+	// Desc summarizes the sharing/synchronization signature.
+	Desc string
+
+	build func(ctx *buildCtx) (func(*machine.Thread), Output)
+}
+
+// Build constructs the workload on machine m and returns the root function
+// for m.Run plus the output region.
+func (w Workload) Build(m *machine.Machine, scale Scale, variant Variant) (func(*machine.Thread), Output) {
+	if variant == Modified && !w.HasModified {
+		panic(fmt.Sprintf("workloads: %s has no modified variant", w.Name))
+	}
+	ctx := &buildCtx{
+		m:     m,
+		scale: scale,
+		racy:  variant == Unmodified && w.Racy,
+	}
+	return w.build(ctx)
+}
+
+// All returns every workload, SPLASH-2 first, in the paper's naming.
+func All() []Workload {
+	ws := append([]Workload{}, splash2()...)
+	return append(ws, parsec()...)
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// RacyNames returns the names of the benchmarks whose unmodified variants
+// contain races (17 of 26, as in §6.1).
+func RacyNames() []string {
+	var out []string
+	for _, w := range All() {
+		if w.Racy {
+			out = append(out, w.Name)
+		}
+	}
+	return out
+}
+
+// buildCtx carries per-build state to the kernels.
+type buildCtx struct {
+	m     *machine.Machine
+	scale Scale
+	racy  bool
+}
+
+// n picks a size by scale.
+func (c *buildCtx) n(test, small, large, native int) int {
+	switch c.scale {
+	case ScaleTest:
+		return test
+	case ScaleSimSmall:
+		return small
+	case ScaleSimLarge:
+		return large
+	default:
+		return native
+	}
+}
+
+// bumpStatF accumulates a float64 into the shared statistic at addr. In
+// the racy variant the lock is skipped — the classic "benign" unprotected
+// reduction found throughout SPLASH-2/PARSEC, which under CLEAN is a WAW
+// race and stops the execution.
+func (c *buildCtx) bumpStatF(t *machine.Thread, lock *machine.Mutex, addr uint64, v float64) {
+	if c.racy {
+		t.StoreF64(addr, t.LoadF64(addr)+v)
+		return
+	}
+	t.Lock(lock)
+	t.StoreF64(addr, t.LoadF64(addr)+v)
+	t.Unlock(lock)
+}
+
+// bumpStatU is bumpStatF for integer counters.
+func (c *buildCtx) bumpStatU(t *machine.Thread, lock *machine.Mutex, addr uint64, v uint64) {
+	if c.racy {
+		t.StoreU64(addr, t.LoadU64(addr)+v)
+		return
+	}
+	t.Lock(lock)
+	t.StoreU64(addr, t.LoadU64(addr)+v)
+	t.Unlock(lock)
+}
+
+// computeScale inflates Work units so the kernels' instruction-to-
+// shared-access density approaches real benchmarks'. Work is O(1) in
+// machine wall-clock regardless of n, so this costs nothing in the
+// software experiments while making the simulated-cycle mix realistic.
+const computeScale = 20
+
+// work charges n kernel work units (n × computeScale instructions).
+func work(t *machine.Thread, n int) { t.Work(n * computeScale) }
+
+// forkJoin runs body on NumThreads logical threads: the root as id 0 and
+// NumThreads-1 spawned workers, joined before it returns.
+func forkJoin(t *machine.Thread, body func(w *machine.Thread, id int)) {
+	kids := make([]*machine.Thread, 0, NumThreads-1)
+	for i := 1; i < NumThreads; i++ {
+		id := i
+		kids = append(kids, t.Spawn(func(c *machine.Thread) { body(c, id) }))
+	}
+	body(t, 0)
+	for _, k := range kids {
+		t.Join(k)
+	}
+}
+
+// chunk returns the [lo, hi) range of n items assigned to worker id.
+func chunk(n, id int) (lo, hi int) {
+	per := (n + NumThreads - 1) / NumThreads
+	lo = id * per
+	hi = lo + per
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// lcg is a tiny deterministic per-thread PRNG for workload decisions; it
+// must never depend on scheduling, so it is seeded from structural values
+// (thread index, iteration) only.
+type lcg uint64
+
+func newLCG(seed uint64) lcg { return lcg(seed*2862933555777941757 + 3037000493) }
+
+func (r *lcg) next() uint64 {
+	*r = lcg(uint64(*r)*6364136223846793005 + 1442695040888963407)
+	return uint64(*r) >> 11
+}
+
+func (r *lcg) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// float returns a deterministic pseudo-random float64 in [0, 1).
+func (r *lcg) float() float64 { return float64(r.next()%1_000_000) / 1_000_000 }
+
+// queue is a bounded FIFO of uint64 values built from the machine's
+// synchronization primitives, used by the pipeline benchmarks
+// (dedup/ferret/vips). All its state lives in simulated shared memory, so
+// queue traffic is itself instrumented, as it would be under TSan.
+type queue struct {
+	slots    uint64 // ring buffer base (capacity × 8 bytes)
+	head     uint64 // next read index address
+	tail     uint64 // next write index address
+	capacity int
+	lock     *machine.Mutex
+	notEmpty *machine.Cond
+	notFull  *machine.Cond
+}
+
+func newQueue(m *machine.Machine, capacity int) *queue {
+	return &queue{
+		slots:    m.AllocShared(capacity*8, 8),
+		head:     m.AllocShared(8, 8),
+		tail:     m.AllocShared(8, 8),
+		capacity: capacity,
+		lock:     m.NewMutex(),
+		notEmpty: m.NewCond(),
+		notFull:  m.NewCond(),
+	}
+}
+
+func (q *queue) put(t *machine.Thread, v uint64) {
+	t.Lock(q.lock)
+	for t.LoadU64(q.tail)-t.LoadU64(q.head) >= uint64(q.capacity) {
+		t.CondWait(q.notFull, q.lock)
+	}
+	tail := t.LoadU64(q.tail)
+	t.StoreU64(q.slots+(tail%uint64(q.capacity))*8, v)
+	t.StoreU64(q.tail, tail+1)
+	t.Signal(q.notEmpty)
+	t.Unlock(q.lock)
+}
+
+func (q *queue) get(t *machine.Thread) uint64 {
+	t.Lock(q.lock)
+	for t.LoadU64(q.tail) == t.LoadU64(q.head) {
+		t.CondWait(q.notEmpty, q.lock)
+	}
+	head := t.LoadU64(q.head)
+	v := t.LoadU64(q.slots + (head%uint64(q.capacity))*8)
+	t.StoreU64(q.head, head+1)
+	t.Signal(q.notFull)
+	t.Unlock(q.lock)
+	return v
+}
+
+// done is the pipeline termination sentinel.
+const done = ^uint64(0)
+
+// stageGate coordinates pipeline-stage shutdown: the last producer of a
+// stage to finish pushes one sentinel per downstream consumer. Its counter
+// lives in shared memory so the handshake is itself instrumented.
+type stageGate struct {
+	remaining uint64 // address of the live-producer count
+	lock      *machine.Mutex
+}
+
+func newStageGate(m *machine.Machine) *stageGate {
+	return &stageGate{remaining: m.AllocShared(8, 8), lock: m.NewMutex()}
+}
+
+// init sets the producer count; call from the root thread before workers
+// start using the gate.
+func (g *stageGate) init(t *machine.Thread, producers int) {
+	t.StoreU64(g.remaining, uint64(producers))
+}
+
+// producerDone signals that one producer finished; the last one pushes
+// sentinels for every consumer of q.
+func (g *stageGate) producerDone(t *machine.Thread, q *queue, consumers int) {
+	t.Lock(g.lock)
+	n := t.LoadU64(g.remaining) - 1
+	t.StoreU64(g.remaining, n)
+	t.Unlock(g.lock)
+	if n == 0 {
+		for i := 0; i < consumers; i++ {
+			q.put(t, done)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package workloads
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 26 {
+		t.Fatalf("registry has %d workloads, want 26", len(all))
+	}
+	var splash, parsecN, racy, noMod int
+	seen := map[string]bool{}
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		switch w.Suite {
+		case "splash2":
+			splash++
+		case "parsec":
+			parsecN++
+		default:
+			t.Errorf("%s: unknown suite %q", w.Name, w.Suite)
+		}
+		if w.Racy {
+			racy++
+		}
+		if !w.HasModified {
+			noMod++
+			if w.Name != "canneal" {
+				t.Errorf("%s lacks a modified variant; only canneal should", w.Name)
+			}
+		}
+		if w.Desc == "" {
+			t.Errorf("%s: missing description", w.Name)
+		}
+	}
+	if splash != 14 || parsecN != 12 {
+		t.Errorf("suite split %d/%d, want 14/12", splash, parsecN)
+	}
+	if racy != 17 {
+		t.Errorf("racy count = %d, want 17 (as in §6.1)", racy)
+	}
+	if noMod != 1 {
+		t.Errorf("workloads without modified variant = %d, want 1", noMod)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("dedup"); !ok {
+		t.Error("ByName(dedup) not found")
+	}
+	if _, ok := ByName("freqmine"); ok {
+		t.Error("freqmine must not exist (excluded by the paper)")
+	}
+}
+
+// TestAllWorkloadsComplete runs every variant of every workload at test
+// scale without a detector over several schedules: no deadlock, no panic,
+// and some shared traffic.
+func TestAllWorkloadsComplete(t *testing.T) {
+	for _, w := range All() {
+		variants := []Variant{Unmodified}
+		if w.HasModified {
+			variants = append(variants, Modified)
+		}
+		for _, v := range variants {
+			w, v := w, v
+			t.Run(w.Name+"/"+v.String(), func(t *testing.T) {
+				for seed := int64(0); seed < 3; seed++ {
+					m := machine.New(machine.Config{Seed: seed})
+					root, out := w.Build(m, ScaleTest, v)
+					if err := m.Run(root); err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					if m.Stats().SharedAccesses() == 0 {
+						t.Fatal("workload produced no shared traffic")
+					}
+					if out.Len == 0 {
+						t.Fatal("workload has no output region")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestModifiedVariantsAreRaceFree runs every modified variant under CLEAN:
+// no exceptions on any schedule (the §6.2.2 precondition).
+func TestModifiedVariantsAreRaceFree(t *testing.T) {
+	for _, w := range All() {
+		if !w.HasModified {
+			continue
+		}
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for seed := int64(0); seed < 4; seed++ {
+				m := machine.New(machine.Config{Seed: seed, Detector: core.New(core.Config{})})
+				root, _ := w.Build(m, ScaleTest, Modified)
+				if err := m.Run(root); err != nil {
+					t.Fatalf("seed %d: modified variant raced: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestRacyVariantsAlwaysExcept is the unit-scale version of the §6.2.2
+// detection experiment: every racy unmodified variant must end with a
+// race exception on every schedule.
+func TestRacyVariantsAlwaysExcept(t *testing.T) {
+	for _, w := range All() {
+		if !w.Racy {
+			continue
+		}
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for seed := int64(0); seed < 4; seed++ {
+				m := machine.New(machine.Config{Seed: seed, Detector: core.New(core.Config{})})
+				root, _ := w.Build(m, ScaleTest, Unmodified)
+				err := m.Run(root)
+				var re *machine.RaceError
+				if !errors.As(err, &re) {
+					t.Fatalf("seed %d: no race exception (err=%v)", seed, err)
+				}
+				if re.Kind == machine.WAR {
+					t.Fatalf("seed %d: CLEAN reported WAR", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestNonRacyUnmodifiedClean: the 9 race-free benchmarks' unmodified
+// variants must not except either.
+func TestNonRacyUnmodifiedClean(t *testing.T) {
+	for _, w := range All() {
+		if w.Racy {
+			continue
+		}
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				m := machine.New(machine.Config{Seed: seed, Detector: core.New(core.Config{})})
+				root, _ := w.Build(m, ScaleTest, Unmodified)
+				if err := m.Run(root); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismSmoke: with CLEAN + Kendo, a sample of modified
+// workloads must produce identical output hashes and final counters
+// across scheduler seeds.
+func TestDeterminismSmoke(t *testing.T) {
+	sample := []string{"fft", "barnes", "dedup", "streamcluster", "x264", "radix"}
+	for _, name := range sample {
+		w, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing workload %s", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			type fingerprint struct {
+				hash   uint64
+				shared uint64
+			}
+			var ref fingerprint
+			for seed := int64(0); seed < 3; seed++ {
+				m := machine.New(machine.Config{
+					Seed: seed, DetSync: true,
+					Detector: core.New(core.Config{}),
+				})
+				root, out := w.Build(m, ScaleTest, Modified)
+				if err := m.Run(root); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				fp := fingerprint{
+					hash:   m.HashMem(out.Addr, out.Len),
+					shared: m.Stats().SharedAccesses(),
+				}
+				if seed == 0 {
+					ref = fp
+				} else if fp != ref {
+					t.Fatalf("seed %d: fingerprint %+v != ref %+v", seed, fp, ref)
+				}
+			}
+		})
+	}
+}
+
+func TestRacyNames(t *testing.T) {
+	names := RacyNames()
+	if len(names) != 17 {
+		t.Fatalf("RacyNames = %d entries, want 17", len(names))
+	}
+}
+
+func TestScaleParsing(t *testing.T) {
+	s, err := ParseScale("simlarge")
+	if err != nil || s != ScaleSimLarge {
+		t.Fatalf("ParseScale(simlarge) = %v, %v", s, err)
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("ParseScale(huge) should fail")
+	}
+}
+
+func TestScalesGrow(t *testing.T) {
+	// Larger scales must do more work (sanity for the harness).
+	w, _ := ByName("lu_cb")
+	var prev uint64
+	for _, sc := range []Scale{ScaleTest, ScaleSimSmall, ScaleSimLarge} {
+		m := machine.New(machine.Config{Seed: 0})
+		root, _ := w.Build(m, sc, Modified)
+		if err := m.Run(root); err != nil {
+			t.Fatal(err)
+		}
+		cur := m.Stats().SharedAccesses()
+		if cur <= prev {
+			t.Fatalf("scale %v: shared accesses %d not > previous %d", sc, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLUHasHighestSharedFrequency(t *testing.T) {
+	// Fig. 7's driving fact: lu_cb and lu_ncb access shared data more
+	// frequently than the rest of the suite.
+	freq := map[string]float64{}
+	for _, w := range All() {
+		variant := Modified
+		if !w.HasModified {
+			variant = Unmodified
+		}
+		m := machine.New(machine.Config{Seed: 1})
+		root, _ := w.Build(m, ScaleTest, variant)
+		if err := m.Run(root); err != nil && w.Name != "canneal" {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		s := m.Stats()
+		if s.Ops > 0 {
+			freq[w.Name] = float64(s.SharedAccesses()) / float64(s.Ops)
+		}
+	}
+	for name, f := range freq {
+		if name == "lu_cb" || name == "lu_ncb" {
+			continue
+		}
+		if f > freq["lu_cb"] && f > freq["lu_ncb"] {
+			t.Errorf("%s shared-access frequency %.3f exceeds both LU variants (%.3f/%.3f)",
+				name, f, freq["lu_cb"], freq["lu_ncb"])
+		}
+	}
+}
