@@ -1,0 +1,182 @@
+// Command cleanvet runs the static race analyzer (internal/staticrace)
+// over a program in the internal/prog IR — a named litmus program, a
+// fuzzer-generated one, or one loaded from a file — and prints every
+// conflicting access pair with its lockset and verdict. With -confirm it
+// backs the verdict dynamically: exploring the interleaving space for a
+// RaceFree claim, replaying the recorded witness schedule for a MustRace
+// one.
+//
+// Usage:
+//
+//	cleanvet -litmus waw                       # racy litmus → MustRace
+//	cleanvet -litmus locked-counter -confirm   # race-freedom proof, checked
+//	cleanvet -gen -seed 7 -threads 3 -ops 8    # vet a generated program
+//	cleanvet -f prog.txt                       # vet a program file (- = stdin)
+//	cleanvet -list                             # show the litmus registry
+//
+// Exit status: 0 RaceFree, 2 MustRace, 3 MayRace, 1 on errors (including
+// a -confirm run contradicting the static verdict).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/explore"
+	"repro/internal/machine"
+	"repro/internal/oracle"
+	"repro/internal/prog"
+	"repro/internal/progen"
+	"repro/internal/staticrace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cleanvet: ")
+	var (
+		litmus  = flag.String("litmus", "", "analyze a named litmus program (see -list)")
+		file    = flag.String("f", "", "analyze a program file in the prog text format (- for stdin)")
+		gen     = flag.Bool("gen", false, "analyze a generated program (progen)")
+		seed    = flag.Int64("seed", 0, "generator seed (with -gen)")
+		threads = flag.Int("threads", 3, "generator worker threads (with -gen)")
+		ops     = flag.Int("ops", 12, "generator ops per thread (with -gen)")
+		region  = flag.Int("region", 8, "generator shared-region bytes (with -gen)")
+		locks   = flag.Int("locks", 2, "generator lock count (with -gen)")
+		confirm = flag.Bool("confirm", false, "confirm the verdict dynamically (bounded exploration / witness replay)")
+		maxruns = flag.Int("maxruns", 200000, "interleaving budget for -confirm exploration")
+		show    = flag.Bool("print", false, "print the program source before the report")
+		list    = flag.Bool("list", false, "list litmus programs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-16s %-5s %s\n", "NAME", "RACY", "DESCRIPTION")
+		for _, l := range prog.Litmuses() {
+			fmt.Printf("%-16s %-5v %s\n", l.Name, l.Racy, l.Desc)
+		}
+		return
+	}
+
+	p, desc := loadProgram(*litmus, *file, *gen, progen.Config{
+		Seed: *seed, Threads: *threads, OpsPerThread: *ops, Region: *region, Locks: *locks,
+	})
+	if err := p.Validate(); err != nil {
+		log.Fatalf("invalid program: %v", err)
+	}
+	if *show {
+		fmt.Print(p)
+		fmt.Println()
+	}
+
+	rep := staticrace.Analyze(p)
+	printReport(desc, p, rep)
+
+	verdict := rep.Verdict()
+	if *confirm && !confirmVerdict(p, rep, *maxruns) {
+		os.Exit(1)
+	}
+	switch verdict {
+	case staticrace.MustRace:
+		os.Exit(2)
+	case staticrace.MayRace:
+		os.Exit(3)
+	}
+}
+
+// loadProgram resolves exactly one of the three program sources.
+func loadProgram(litmus, file string, gen bool, cfg progen.Config) (*prog.Program, string) {
+	sources := 0
+	for _, on := range []bool{litmus != "", file != "", gen} {
+		if on {
+			sources++
+		}
+	}
+	if sources != 1 {
+		log.Fatal("pick exactly one of -litmus, -f, -gen (or -list)")
+	}
+	switch {
+	case litmus != "":
+		l := prog.LitmusByName(litmus)
+		if l == nil {
+			log.Fatalf("unknown litmus %q (see -list)", litmus)
+		}
+		return l.P, fmt.Sprintf("litmus %s (%s)", l.Name, l.Desc)
+	case file != "":
+		r := os.Stdin
+		if file != "-" {
+			f, err := os.Open(file)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		p, err := prog.Parse(r)
+		if err != nil {
+			log.Fatalf("parse %s: %v", file, err)
+		}
+		return p, fmt.Sprintf("file %s", file)
+	default:
+		if cfg.Threads < 1 || cfg.OpsPerThread < 0 || cfg.Region < 1 || cfg.Locks < 0 {
+			log.Fatalf("invalid generator config: threads %d (≥1), ops %d (≥0), region %d (≥1), locks %d (≥0)",
+				cfg.Threads, cfg.OpsPerThread, cfg.Region, cfg.Locks)
+		}
+		return progen.Generate(cfg), fmt.Sprintf("generated (seed %d)", cfg.Seed)
+	}
+}
+
+func printReport(desc string, p *prog.Program, rep *staticrace.Report) {
+	fmt.Printf("program:   %s\n", desc)
+	fmt.Printf("shape:     %d worker threads, %d ops, %d-byte region, %d locks\n",
+		len(p.Threads), p.NumOps(), p.Region, p.Locks)
+	fmt.Printf("accesses:  %d\n", len(rep.Accesses))
+	rf, may, must := rep.Counts()
+	fmt.Printf("pairs:     %d conflicting (%d MustRace, %d MayRace, %d lock-protected)\n",
+		rf+may+must, must, may, rf)
+	for _, pair := range rep.Pairs {
+		fmt.Printf("  %v\n", pair)
+	}
+	fmt.Printf("verdict:   %v\n", rep.Verdict())
+}
+
+// confirmVerdict checks the static verdict against the machine and
+// reports whether they agree. RaceFree is confirmed by (bounded)
+// exploration finding no exception; MustRace by the witness schedule
+// raising one; MayRace by exploration either way — both outcomes are
+// consistent with the middle verdict.
+func confirmVerdict(p *prog.Program, rep *staticrace.Report, maxruns int) bool {
+	oracleDet := func() machine.Detector { return oracle.New(oracle.AllRaces) }
+	switch rep.Verdict() {
+	case staticrace.MustRace:
+		first, second, _ := rep.Witness()
+		_, err := p.RunPicked(prog.SequentialPicker(first, second), oracleDet())
+		var re *machine.RaceError
+		if !errors.As(err, &re) {
+			fmt.Printf("confirm:   FAILED — witness schedule (t%d then t%d) raised %v, want a race exception\n",
+				first, second, err)
+			return false
+		}
+		fmt.Printf("confirm:   witness schedule (t%d then t%d) raised %v\n", first, second, re)
+		return true
+	default:
+		res := explore.RunProgram(explore.Options{Detector: oracleDet, MaxRuns: maxruns}, p, nil)
+		scope := "exhaustive"
+		if !res.Exhaustive() {
+			scope = "bounded"
+		}
+		excepted := 0
+		for _, n := range res.Exceptions {
+			excepted += n
+		}
+		fmt.Printf("confirm:   %s exploration, %d interleavings: %d completed, %d excepted, %d deadlocked\n",
+			scope, res.Runs, res.Completed, excepted, res.Deadlocks)
+		if rep.Verdict() == staticrace.RaceFree && (excepted > 0 || res.Deadlocks > 0 || res.OtherErrors > 0) {
+			fmt.Printf("confirm:   FAILED — statically race-free but the machine disagrees\n")
+			return false
+		}
+		return true
+	}
+}

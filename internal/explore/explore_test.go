@@ -5,22 +5,25 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/prog"
 )
 
 func cleanDet() machine.Detector { return core.New(core.Config{}) }
 
+func litmus(t *testing.T, name string) *prog.Program {
+	t.Helper()
+	l := prog.LitmusByName(name)
+	if l == nil {
+		t.Fatalf("litmus %q missing", name)
+	}
+	return l.P
+}
+
 // TestExhaustiveWAWAlwaysDetected upgrades the sampled claim to a proof
-// over the full interleaving space: two unordered writes end in a WAW
-// exception in EVERY schedule.
+// over the full interleaving space: the two unordered writes of the "waw"
+// litmus end in a WAW exception in EVERY schedule.
 func TestExhaustiveWAWAlwaysDetected(t *testing.T) {
-	res := Run(Options{Detector: cleanDet}, func(m *machine.Machine) func(*machine.Thread) {
-		a := m.AllocShared(8, 8)
-		return func(th *machine.Thread) {
-			c := th.Spawn(func(c *machine.Thread) { c.StoreU64(a, 1) })
-			th.StoreU64(a, 2)
-			th.Join(c)
-		}
-	}, nil)
+	res := RunProgram(Options{Detector: cleanDet}, litmus(t, "waw"), nil)
 	if !res.Exhaustive() {
 		t.Fatalf("space truncated at %d runs", res.Runs)
 	}
@@ -32,18 +35,11 @@ func TestExhaustiveWAWAlwaysDetected(t *testing.T) {
 	}
 }
 
-// TestExhaustiveRAWvsWAR: an unordered write/read pair either raises RAW
-// or completes (WAR) — and over the full space both outcomes occur, with
-// no other exception kind.
+// TestExhaustiveRAWvsWAR: the unordered write/read pair of the "raw-war"
+// litmus either raises RAW or completes (WAR) — and over the full space
+// both outcomes occur, with no other exception kind.
 func TestExhaustiveRAWvsWAR(t *testing.T) {
-	res := Run(Options{Detector: cleanDet}, func(m *machine.Machine) func(*machine.Thread) {
-		a := m.AllocShared(8, 8)
-		return func(th *machine.Thread) {
-			c := th.Spawn(func(c *machine.Thread) { c.LoadU64(a) })
-			th.StoreU64(a, 7)
-			th.Join(c)
-		}
-	}, nil)
+	res := RunProgram(Options{Detector: cleanDet}, litmus(t, "raw-war"), nil)
 	if !res.Exhaustive() {
 		t.Fatalf("space truncated at %d runs", res.Runs)
 	}

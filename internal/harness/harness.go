@@ -180,6 +180,7 @@ func Experiments() []struct {
 		{"fig10", "Fig. 10: breakdown of memory accesses", Fig10},
 		{"fig11", "Fig. 11: 1-byte and 4-byte epoch alternatives", Fig11},
 		{"ablation", "§7 claim: CLEAN vs FastTrack vs TSan-lite software detectors", Ablation},
+		{"static", "static verdicts vs CLEAN/FastTrack/oracle on fuzzed programs", Static},
 	}
 }
 

@@ -1,0 +1,149 @@
+// The static-analysis experiment: agreement between the pre-execution
+// verdicts of internal/staticrace and what the dynamic detectors observe
+// on fuzzed programs. This is the repository's detector-comparison row
+// for the static layer — CLEAN and FastTrack are sampled over seeded
+// schedules, the reference oracle additionally replays the analyzer's
+// recorded witness schedule.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/fasttrack"
+	"repro/internal/machine"
+	"repro/internal/oracle"
+	"repro/internal/prog"
+	"repro/internal/progen"
+	"repro/internal/staticrace"
+	"repro/internal/stats"
+)
+
+// staticDetectors are the dynamic detectors the verdicts are compared
+// against.
+func staticDetectors() []struct {
+	Name string
+	New  func() machine.Detector
+} {
+	return []struct {
+		Name string
+		New  func() machine.Detector
+	}{
+		{"clean", func() machine.Detector { return core.New(core.Config{}) }},
+		{"fasttrack", func() machine.Detector { return fasttrack.New(fasttrack.Config{}) }},
+		{"oracle", func() machine.Detector { return oracle.New(oracle.AllRaces) }},
+	}
+}
+
+// staticFuzzSet is the program set for the experiment: the two
+// exhaustively-sized soundness configurations plus the default-sized one
+// for programs with more threads and longer op lists.
+func staticFuzzSet(perConfig int) []*prog.Program {
+	var ps []*prog.Program
+	for seed := int64(0); seed < int64(perConfig); seed++ {
+		ps = append(ps,
+			progen.Generate(progen.SmallConfig(seed)),
+			progen.Generate(progen.NestedConfig(seed)),
+			progen.Generate(progen.DefaultConfig(seed)))
+	}
+	return ps
+}
+
+// raced reports whether det raises a race exception on any of samples
+// seeded schedules of p (plus the witness schedule, when one is given).
+func raced(p *prog.Program, rep *staticrace.Report, det func() machine.Detector, samples int, useWitness bool) bool {
+	if useWitness {
+		if first, second, ok := rep.Witness(); ok {
+			if _, err := p.RunPicked(prog.SequentialPicker(first, second), det()); isRace(err) {
+				return true
+			}
+		}
+	}
+	for seed := int64(0); seed < int64(samples); seed++ {
+		if _, err := p.Run(seed, det(), false); isRace(err) {
+			return true
+		}
+	}
+	return false
+}
+
+func isRace(err error) bool {
+	var re *machine.RaceError
+	return errors.As(err, &re)
+}
+
+// Static runs the agreement experiment. Agreement means: on a RaceFree
+// program the detector raises in no sampled schedule (no false
+// positives); on a MustRace program it raises in at least one (the
+// oracle gets the witness schedule among its samples, so its MustRace
+// column is the analyzer's soundness check). The MayRace row promises
+// nothing — its columns report how often a race was actually observed.
+func Static(w io.Writer, o Options) error {
+	perConfig := o.reps(20)
+	samples := 8
+	dets := staticDetectors()
+
+	// Per verdict, per detector: programs where the detector agreed (or,
+	// for MayRace, where it observed a race).
+	programs := map[staticrace.Verdict]int{}
+	agree := map[staticrace.Verdict][]int{}
+	for v := staticrace.RaceFree; v <= staticrace.MustRace; v++ {
+		agree[v] = make([]int, len(dets))
+	}
+	for _, p := range staticFuzzSet(perConfig) {
+		rep := staticrace.Analyze(p)
+		v := rep.Verdict()
+		programs[v]++
+		for i, d := range dets {
+			r := raced(p, rep, d.New, samples, d.Name == "oracle" && v == staticrace.MustRace)
+			switch v {
+			case staticrace.RaceFree:
+				if !r {
+					agree[v][i]++
+				}
+			case staticrace.MustRace:
+				if r {
+					agree[v][i]++
+				}
+			default: // MayRace: count observations, agreement is undefined
+				if r {
+					agree[v][i]++
+				}
+			}
+		}
+	}
+
+	tb := stats.NewTable("verdict", "programs", "clean", "fasttrack", "oracle")
+	for v := staticrace.RaceFree; v <= staticrace.MustRace; v++ {
+		n := programs[v]
+		row := []interface{}{v.String(), fmt.Sprint(n)}
+		for i := range dets {
+			if n == 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%d/%d", agree[v][i], n))
+		}
+		tb.AddRow(row...)
+	}
+	fmt.Fprintf(w, "agreement over %d fuzzed programs, %d sampled schedules each\n", len(staticFuzzSet(perConfig)), samples)
+	fmt.Fprintf(w, "(RaceFree: never raised; MustRace: raised at least once, oracle includes the witness schedule;\n")
+	fmt.Fprintf(w, " MayRace: informational — how often a race was observed)\n")
+	if _, err := fmt.Fprint(w, tb.String()); err != nil {
+		return err
+	}
+
+	// The hard guarantees the analyzer makes are checked, not just
+	// tabulated: the oracle must agree on every RaceFree and MustRace
+	// program.
+	oi := len(dets) - 1
+	for _, v := range []staticrace.Verdict{staticrace.RaceFree, staticrace.MustRace} {
+		if agree[v][oi] != programs[v] {
+			fmt.Fprintf(w, "WARNING: oracle disagreed on %d/%d %v programs\n",
+				programs[v]-agree[v][oi], programs[v], v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package prog
+
+// Litmus is a small named program with a known race verdict, used by the
+// model checker's exhaustive proofs, the static analyzer's unit tests,
+// and cmd/cleanvet.
+type Litmus struct {
+	Name string
+	Desc string
+	// Racy reports whether some schedule of the program exhibits a data
+	// race (of any kind, including WAR).
+	Racy bool
+	P    *Program
+}
+
+// Litmuses returns the named litmus programs. The set deliberately spans
+// the analyzer's verdict space: unprotected write/write and read/write
+// conflicts, fully locked and disjoint race-free programs, nested
+// critical sections, and a partially-locked race.
+func Litmuses() []Litmus {
+	return []Litmus{
+		{
+			Name: "waw",
+			Desc: "two unordered 8-byte writes to the same word — WAW race in every schedule",
+			Racy: true,
+			P: &Program{Region: 8, Locks: 0, Threads: [][]Op{
+				{{Kind: Write, Off: 0, Size: 8}},
+				{{Kind: Write, Off: 0, Size: 8}},
+			}},
+		},
+		{
+			Name: "raw-war",
+			Desc: "an unordered write/read pair — RAW exception or WAR completion, schedule-dependent",
+			Racy: true,
+			P: &Program{Region: 8, Locks: 0, Threads: [][]Op{
+				{{Kind: Write, Off: 0, Size: 8}},
+				{{Kind: Read, Off: 0, Size: 8}},
+			}},
+		},
+		{
+			Name: "locked-counter",
+			Desc: "read-modify-write under a common lock in both threads — race-free",
+			Racy: false,
+			P: &Program{Region: 8, Locks: 1, Threads: [][]Op{
+				{{Kind: Lock, Lock: 0}, {Kind: Read, Off: 0, Size: 8}, {Kind: Write, Off: 0, Size: 8}, {Kind: Unlock, Lock: 0}},
+				{{Kind: Lock, Lock: 0}, {Kind: Read, Off: 0, Size: 8}, {Kind: Write, Off: 0, Size: 8}, {Kind: Unlock, Lock: 0}},
+			}},
+		},
+		{
+			Name: "disjoint",
+			Desc: "each thread works on its own half of the region — race-free without locks",
+			Racy: false,
+			P: &Program{Region: 8, Locks: 0, Threads: [][]Op{
+				{{Kind: Write, Off: 0, Size: 4}, {Kind: Read, Off: 0, Size: 4}},
+				{{Kind: Write, Off: 4, Size: 4}, {Kind: Read, Off: 4, Size: 4}},
+			}},
+		},
+		{
+			Name: "nested-locks",
+			Desc: "id-ordered nested critical sections protecting the same word — race-free",
+			Racy: false,
+			P: &Program{Region: 8, Locks: 2, Threads: [][]Op{
+				{{Kind: Lock, Lock: 0}, {Kind: Lock, Lock: 1}, {Kind: Write, Off: 0, Size: 8}, {Kind: Unlock, Lock: 1}, {Kind: Unlock, Lock: 0}},
+				{{Kind: Lock, Lock: 1}, {Kind: Write, Off: 0, Size: 8}, {Kind: Unlock, Lock: 1}},
+			}},
+		},
+		{
+			Name: "partial-lock",
+			Desc: "one thread writes under a lock, the other without — a race despite the lock",
+			Racy: true,
+			P: &Program{Region: 8, Locks: 1, Threads: [][]Op{
+				{{Kind: Lock, Lock: 0}, {Kind: Write, Off: 0, Size: 8}, {Kind: Unlock, Lock: 0}},
+				{{Kind: Work, Work: 2}, {Kind: Write, Off: 0, Size: 8}},
+			}},
+		},
+		{
+			Name: "lock-shadow",
+			Desc: "an unlocked write racing with a write published only through a later critical section — the two sequential-composition witness schedules both order it, so the analyzer can only say \"may race\"",
+			Racy: true,
+			P: &Program{Region: 8, Locks: 2, Threads: [][]Op{
+				{{Kind: Lock, Lock: 0}, {Kind: Unlock, Lock: 0}, {Kind: Write, Off: 0, Size: 8}, {Kind: Lock, Lock: 1}, {Kind: Unlock, Lock: 1}},
+				{{Kind: Lock, Lock: 1}, {Kind: Unlock, Lock: 1}, {Kind: Write, Off: 0, Size: 8}, {Kind: Lock, Lock: 0}, {Kind: Unlock, Lock: 0}},
+			}},
+		},
+	}
+}
+
+// LitmusByName returns the named litmus program, or nil.
+func LitmusByName(name string) *Litmus {
+	for _, l := range Litmuses() {
+		if l.Name == name {
+			lit := l
+			return &lit
+		}
+	}
+	return nil
+}

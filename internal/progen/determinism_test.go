@@ -42,7 +42,7 @@ func TestKendoDeterminismOnRandomPrograms(t *testing.T) {
 			default:
 				return outcome{
 					completed: true,
-					hash:      m.HashMem(base, p.cfg.Region),
+					hash:      m.HashMem(base, p.Region),
 					counters:  fmt.Sprint(m.FinalCounters()),
 				}
 			}
@@ -100,7 +100,7 @@ func TestNondeterministicOutcomesVary(t *testing.T) {
 			case errors.As(err, &re):
 				outcomes[fmt.Sprintf("race@%#x", re.Addr)] = true
 			case err == nil:
-				outcomes[fmt.Sprintf("done:%x", m.HashMem(base, p.cfg.Region))] = true
+				outcomes[fmt.Sprintf("done:%x", m.HashMem(base, p.Region))] = true
 			}
 		}
 		if len(outcomes) > 1 {

@@ -1,11 +1,13 @@
-// Package progen generates small random multithreaded programs for the
-// machine, used to cross-validate the optimized detectors against the
-// reference oracle over large schedule spaces.
+// Package progen generates small random multithreaded programs in the
+// internal/prog IR, used to cross-validate the optimized detectors against
+// the reference oracle over large schedule spaces and to exercise the
+// static race analyzer.
 //
 // A generated program is a fixed list of operations per thread (reads,
-// writes, lock/unlock pairs, private work) chosen once from a seed; only
-// the machine's scheduling varies between runs. Lock discipline is
-// enforced at generation time, so every program is well-formed — but most
+// writes, nested lock/unlock sections, private work) chosen once from a
+// seed; only the machine's scheduling varies between runs. Lock discipline
+// is enforced at generation time — acquisitions nest in increasing lock-id
+// order, so every program is well-formed and deadlock-free — but most
 // programs are racy, which is the point.
 package progen
 
@@ -13,7 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/machine"
+	"repro/internal/prog"
 )
 
 // Config bounds the generated program.
@@ -31,41 +33,43 @@ func DefaultConfig(seed int64) Config {
 	return Config{Seed: seed, Threads: 3, OpsPerThread: 12, Region: 8, Locks: 2}
 }
 
-type opKind int
-
-const (
-	opRead opKind = iota
-	opWrite
-	opLock
-	opUnlock
-	opWork
-)
-
-type op struct {
-	kind opKind
-	off  uint64
-	size int
-	lock int
-	work int
+// SmallConfig returns a configuration whose interleaving space is small
+// enough for exhaustive exploration (internal/explore), used by the
+// static-analysis soundness tests. Sizing matters: even one extra op per
+// thread multiplies the schedule count by the number of ways it threads
+// through the other worker's ops, and the soundness suite explores
+// hundreds of these programs to exhaustion.
+func SmallConfig(seed int64) Config {
+	return Config{Seed: seed, Threads: 2, OpsPerThread: 3, Region: 4, Locks: 1}
 }
 
-// Program is a generated program, independent of any machine.
-type Program struct {
-	cfg Config
-	ops [][]op
+// NestedConfig returns a configuration with enough locks and operations
+// that generated programs regularly nest critical sections, while staying
+// exhaustively explorable like SmallConfig.
+func NestedConfig(seed int64) Config {
+	return Config{Seed: seed, Threads: 2, OpsPerThread: 4, Region: 4, Locks: 3}
 }
 
-// Generate builds a program from cfg.
-func Generate(cfg Config) *Program {
+// Generate builds a program in the prog IR from cfg.
+func Generate(cfg Config) *prog.Program {
 	if cfg.Threads < 1 || cfg.Region < 1 {
 		panic(fmt.Sprintf("progen: invalid config %+v", cfg))
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sizes := []int{1, 1, 2, 4, 4, 8}
-	p := &Program{cfg: cfg}
+	p := &prog.Program{Region: cfg.Region, Locks: cfg.Locks}
 	for th := 0; th < cfg.Threads; th++ {
-		var ops []op
+		var ops []prog.Op
 		var held []int
+		// nextLock is the smallest lock id acquirable under the
+		// id-ordered nesting discipline: only locks above the top of the
+		// held stack, so cycles — and hence deadlocks — are impossible.
+		nextLock := func() int {
+			if len(held) == 0 {
+				return 0
+			}
+			return held[len(held)-1] + 1
+		}
 		for i := 0; i < cfg.OpsPerThread; i++ {
 			switch r := rng.Intn(10); {
 			case r < 4: // read or write
@@ -73,79 +77,34 @@ func Generate(cfg Config) *Program {
 				for size > cfg.Region {
 					size /= 2
 				}
-				o := op{off: uint64(rng.Intn(cfg.Region - size + 1)), size: size}
+				o := prog.Op{Off: uint64(rng.Intn(cfg.Region - size + 1)), Size: size}
 				if rng.Intn(2) == 0 {
-					o.kind = opWrite
+					o.Kind = prog.Write
 				} else {
-					o.kind = opRead
+					o.Kind = prog.Read
 				}
 				ops = append(ops, o)
-			case r < 6 && cfg.Locks > 0 && len(held) == 0: // acquire
-				l := rng.Intn(cfg.Locks)
-				ops = append(ops, op{kind: opLock, lock: l})
+			case r < 6 && nextLock() < cfg.Locks: // acquire (possibly nested)
+				l := nextLock() + rng.Intn(cfg.Locks-nextLock())
+				ops = append(ops, prog.Op{Kind: prog.Lock, Lock: l})
 				held = append(held, l)
 			case r < 8 && len(held) > 0: // release
 				l := held[len(held)-1]
 				held = held[:len(held)-1]
-				ops = append(ops, op{kind: opUnlock, lock: l})
+				ops = append(ops, prog.Op{Kind: prog.Unlock, Lock: l})
 			default:
-				ops = append(ops, op{kind: opWork, work: 1 + rng.Intn(3)})
+				ops = append(ops, prog.Op{Kind: prog.Work, Work: 1 + rng.Intn(3)})
 			}
 		}
 		for len(held) > 0 {
 			l := held[len(held)-1]
 			held = held[:len(held)-1]
-			ops = append(ops, op{kind: opUnlock, lock: l})
+			ops = append(ops, prog.Op{Kind: prog.Unlock, Lock: l})
 		}
-		p.ops = append(p.ops, ops)
+		p.Threads = append(p.Threads, ops)
+	}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("progen: generated an invalid program: %v", err))
 	}
 	return p
-}
-
-// Build allocates the program's shared region and locks on m and returns
-// the root function to pass to m.Run. The returned base is the shared
-// region's address, for post-run inspection.
-func (p *Program) Build(m *machine.Machine) (root func(*machine.Thread), base uint64) {
-	base = m.AllocShared(p.cfg.Region, 8)
-	locks := make([]*machine.Mutex, p.cfg.Locks)
-	for i := range locks {
-		locks[i] = m.NewMutex()
-	}
-	runOps := func(t *machine.Thread, ops []op) {
-		for _, o := range ops {
-			switch o.kind {
-			case opRead:
-				t.Load(base+o.off, o.size)
-			case opWrite:
-				t.Store(base+o.off, o.size, t.DetCounter^uint64(t.ID)<<32)
-			case opLock:
-				t.Lock(locks[o.lock])
-			case opUnlock:
-				t.Unlock(locks[o.lock])
-			case opWork:
-				t.Work(o.work)
-			}
-		}
-	}
-	root = func(t *machine.Thread) {
-		kids := make([]*machine.Thread, 0, len(p.ops))
-		for i := range p.ops {
-			ops := p.ops[i]
-			kids = append(kids, t.Spawn(func(c *machine.Thread) {
-				runOps(c, ops)
-			}))
-		}
-		for _, k := range kids {
-			t.Join(k)
-		}
-	}
-	return root, base
-}
-
-// Run executes the program on a fresh machine with the given scheduling
-// seed and detector, returning the machine and the run error.
-func (p *Program) Run(schedSeed int64, det machine.Detector, detSync bool) (*machine.Machine, error) {
-	m := machine.New(machine.Config{Seed: schedSeed, Detector: det, DetSync: detSync})
-	root, _ := p.Build(m)
-	return m, m.Run(root)
 }

@@ -1,19 +1,23 @@
 package progen
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/prog"
+)
 
 func TestGenerateDeterministic(t *testing.T) {
 	a := Generate(DefaultConfig(7))
 	b := Generate(DefaultConfig(7))
-	if len(a.ops) != len(b.ops) {
+	if len(a.Threads) != len(b.Threads) {
 		t.Fatal("same seed, different thread counts")
 	}
-	for i := range a.ops {
-		if len(a.ops[i]) != len(b.ops[i]) {
+	for i := range a.Threads {
+		if len(a.Threads[i]) != len(b.Threads[i]) {
 			t.Fatalf("thread %d: op counts differ", i)
 		}
-		for j := range a.ops[i] {
-			if a.ops[i][j] != b.ops[i][j] {
+		for j := range a.Threads[i] {
+			if a.Threads[i][j] != b.Threads[i][j] {
 				t.Fatalf("thread %d op %d differs", i, j)
 			}
 		}
@@ -22,12 +26,14 @@ func TestGenerateDeterministic(t *testing.T) {
 
 func TestGeneratedProgramsRunWithoutDetector(t *testing.T) {
 	// Every generated program must be well-formed: balanced locks, legal
-	// addresses. Without a detector, runs must complete (no deadlock,
-	// no panics).
+	// addresses, deadlock-free nesting. Without a detector, runs must
+	// complete (no deadlock, no panics).
 	for gen := int64(0); gen < 50; gen++ {
-		p := Generate(DefaultConfig(gen))
-		if _, err := p.Run(gen, nil, false); err != nil {
-			t.Fatalf("gen %d: %v", gen, err)
+		for _, cfg := range []Config{DefaultConfig(gen), SmallConfig(gen), NestedConfig(gen)} {
+			p := Generate(cfg)
+			if _, err := p.Run(gen, nil, false); err != nil {
+				t.Fatalf("gen %d cfg %+v: %v", gen, cfg, err)
+			}
 		}
 	}
 }
@@ -44,6 +50,40 @@ func TestGeneratedProgramsProduceSharedTraffic(t *testing.T) {
 	}
 	if accesses == 0 {
 		t.Fatal("generated programs never touch shared memory")
+	}
+}
+
+// TestGeneratesNestedCriticalSections: the id-ordered discipline must
+// actually be exercised — across a batch of seeds, some thread acquires a
+// lock while already holding one.
+func TestGeneratesNestedCriticalSections(t *testing.T) {
+	maxDepth := 0
+	for gen := int64(0); gen < 50; gen++ {
+		p := Generate(NestedConfig(gen))
+		for _, ops := range p.Threads {
+			depth := 0
+			var held []int
+			for _, o := range ops {
+				switch o.Kind {
+				case prog.Lock:
+					if len(held) > 0 && o.Lock <= held[len(held)-1] {
+						t.Fatalf("gen %d: lock %d acquired under %d breaks the id order", gen, o.Lock, held[len(held)-1])
+					}
+					held = append(held, o.Lock)
+					if len(held) > depth {
+						depth = len(held)
+					}
+				case prog.Unlock:
+					held = held[:len(held)-1]
+				}
+			}
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+		}
+	}
+	if maxDepth < 2 {
+		t.Fatalf("no generated program nests locks (max depth %d)", maxDepth)
 	}
 }
 
