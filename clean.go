@@ -60,6 +60,21 @@ type (
 	RaceError = machine.RaceError
 	// DeadlockError reports that no thread could make progress.
 	DeadlockError = machine.DeadlockError
+	// LivelockError reports an exhausted MaxSteps budget, naming the
+	// most-starved thread and its deterministic counter.
+	LivelockError = machine.LivelockError
+	// MachineError is a structured, contained failure: a workload panic,
+	// an API misuse, an orphaned-lock acquisition or a configuration
+	// error, with a diagnostic Dump attached.
+	MachineError = machine.MachineError
+	// MachineErrorKind classifies a MachineError.
+	MachineErrorKind = machine.MachineErrorKind
+	// Dump is the diagnostic state snapshot attached to contained
+	// failures: per-thread state, held locks, Kendo counters and the last
+	// scheduler decisions.
+	Dump = machine.Dump
+	// Injector is the fault-injection hook (see internal/faults).
+	Injector = machine.Injector
 	// Stats aggregates a run's counters.
 	Stats = machine.Stats
 	// RaceKind classifies a race (WAW, RAW, WAR).
@@ -71,6 +86,15 @@ const (
 	WAW = machine.WAW
 	RAW = machine.RAW
 	WAR = machine.WAR
+)
+
+// MachineError kinds.
+const (
+	ErrPanic        = machine.ErrPanic
+	ErrMisuse       = machine.ErrMisuse
+	ErrOrphanedLock = machine.ErrOrphanedLock
+	ErrConfig       = machine.ErrConfig
+	ErrScheduler    = machine.ErrScheduler
 )
 
 // Detection selects the race detector attached to a machine.
@@ -112,9 +136,17 @@ type Config struct {
 	// YieldEvery coarsens scheduling granularity (default 1: a
 	// scheduling point at every operation).
 	YieldEvery int
+	// MaxSteps bounds the scheduler's dispatch count; exhausting it stops
+	// the run with a *LivelockError naming the most-starved thread. Zero
+	// means unbounded.
+	MaxSteps uint64
 	// Tracer, if non-nil, records the run's event stream (see
 	// internal/trace and internal/hwsim).
 	Tracer machine.Tracer
+	// FaultInjector, if non-nil, receives the machine's fault-injection
+	// callbacks (see internal/faults for the deterministic plan-driven
+	// implementation).
+	FaultInjector Injector
 }
 
 func (c Config) layout() vclock.Layout {
@@ -163,7 +195,9 @@ func NewMachineWithDetector(cfg Config, det Detector) *Machine {
 		Detector:   det,
 		Layout:     cfg.layout(),
 		YieldEvery: cfg.YieldEvery,
+		MaxSteps:   cfg.MaxSteps,
 		Tracer:     cfg.Tracer,
+		Injector:   cfg.FaultInjector,
 	})
 }
 

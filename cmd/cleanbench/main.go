@@ -28,6 +28,7 @@ func main() {
 		yieldEv = flag.Int("yield", 0, "machine scheduling granularity (0 = default 8)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		verbose = flag.Bool("v", false, "verbose output")
+		artDir  = flag.String("artifacts", "", "directory for diagnostic dumps of resilience violations")
 	)
 	flag.Parse()
 
@@ -38,7 +39,7 @@ func main() {
 		return
 	}
 
-	opts := harness.Options{Reps: *reps, YieldEvery: *yieldEv, Verbose: *verbose}
+	opts := harness.Options{Reps: *reps, YieldEvery: *yieldEv, Verbose: *verbose, ArtifactDir: *artDir}
 	if *scale != "" {
 		s, err := workloads.ParseScale(*scale)
 		if err != nil {

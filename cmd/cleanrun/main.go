@@ -7,6 +7,7 @@
 //
 //	cleanrun -w dedup -variant unmodified        # racy run → race exception
 //	cleanrun -w fft -det clean -detsync -seed 3  # deterministic clean run
+//	cleanrun -w fft -faults thread-crash         # inject a deterministic fault
 //	cleanrun -list                               # show the registry
 package main
 
@@ -16,8 +17,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	clean "repro"
+	"repro/internal/faults"
+	"repro/internal/harness"
 )
 
 func main() {
@@ -32,6 +36,8 @@ func main() {
 		seed     = flag.Int64("seed", 0, "scheduler seed")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		diagnose = flag.Bool("diagnose", false, "on a race exception, rerun in monitor modes and list all findings (§3.1)")
+		maxSteps = flag.Uint64("maxsteps", 0, "scheduler-step budget; exhausting it raises a livelock error (0 = unbounded)")
+		faultStr = flag.String("faults", "", "inject a deterministic fault and verify its replay: "+faultKindList())
 	)
 	flag.Parse()
 
@@ -57,10 +63,21 @@ func main() {
 		log.Fatalf("unknown detector %q", *det)
 	}
 
+	if *faultStr != "" {
+		// Fault runs always use CLEAN + deterministic sync: Kendo is what
+		// makes the injected failure exactly replayable.
+		if err := harness.RunFault(os.Stdout, *name, *scale, *faultStr,
+			*variant == "modified", *seed, *maxSteps, 32); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	rep, err := clean.RunWorkload(*name, *scale, *variant == "modified", clean.Config{
 		Seed:              *seed,
 		Detection:         detection,
 		DeterministicSync: *detsync,
+		MaxSteps:          *maxSteps,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -99,9 +116,33 @@ func main() {
 		}
 		os.Exit(2)
 	case rep.Err != nil:
+		var live *clean.LivelockError
+		var merr *clean.MachineError
+		if errors.As(rep.Err, &live) || errors.As(rep.Err, &merr) {
+			fmt.Printf("\nCONTAINED FAILURE: %v\n", rep.Err)
+			var d *clean.Dump
+			if live != nil {
+				d = live.Dump
+			} else if merr != nil {
+				d = merr.Dump
+			}
+			if d != nil {
+				fmt.Printf("\ndiagnostic dump:\n%s", d)
+			}
+			os.Exit(3)
+		}
 		log.Fatal(rep.Err)
 	default:
 		fmt.Printf("output:     %#016x (deterministic under -detsync)\n", rep.OutputHash)
 		fmt.Printf("completed without a race exception\n")
 	}
+}
+
+// faultKindList renders the -faults choices.
+func faultKindList() string {
+	var names []string
+	for _, k := range faults.Kinds() {
+		names = append(names, k.String())
+	}
+	return strings.Join(names, ", ")
 }

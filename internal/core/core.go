@@ -65,6 +65,12 @@ type Stats struct {
 	// SameEpochSkips counts writes that skipped the update because the
 	// epoch was already current (line 5 of Fig. 2).
 	SameEpochSkips uint64
+	// MetadataRepairs counts epochs that failed the sanity check
+	// (reserved bits set, unknown thread id, clock from the future —
+	// e.g. an injected bit flip) and were degraded to the zero epoch, a
+	// monitor-mode re-check, instead of producing a bogus race
+	// exception or a crash.
+	MetadataRepairs uint64
 }
 
 // Detector is the CLEAN WAW/RAW race detector. It implements
@@ -137,6 +143,15 @@ func (d *Detector) OnAccess(t *machine.Thread, addr uint64, size int, write bool
 		e, allEqual := d.epochs.LoadAllEqual(addr, size)
 		d.stats.EpochLoads += uint64(size)
 		if allEqual {
+			if e != 0 && !t.Machine().EpochSane(e) {
+				// Corrupted metadata: degrade to a monitor-mode
+				// re-check against the cleared (zero) epoch rather
+				// than trusting a flipped bit into a bogus race
+				// exception.
+				d.stats.MetadataRepairs++
+				d.epochs.StoreRange(addr, size, 0)
+				e = 0
+			}
 			d.stats.MultibyteSameEpoch++
 			d.stats.ByteChecks++
 			// One comparison covers every byte: the race exists on
@@ -174,6 +189,13 @@ func (d *Detector) checkByte(t *machine.Thread, byteAddr, accessAddr uint64, siz
 	e := d.epochs.Load(byteAddr)
 	d.stats.EpochLoads++
 	d.stats.ByteChecks++
+	if e != 0 && !t.Machine().EpochSane(e) {
+		// Corrupted metadata (see the multi-byte path): clear and
+		// re-check in monitor fashion instead of raising on garbage.
+		d.stats.MetadataRepairs++
+		d.epochs.Store(byteAddr, 0)
+		e = 0
+	}
 	if err := d.raceCheck(t, accessAddr, size, write, e); err != nil {
 		return err
 	}

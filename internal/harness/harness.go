@@ -34,6 +34,9 @@ type Options struct {
 	YieldEvery int
 	// Verbose adds per-run detail.
 	Verbose bool
+	// ArtifactDir, if non-empty, receives diagnostic dump files for
+	// resilience-experiment violations (CI uploads them on failure).
+	ArtifactDir string
 }
 
 func (o Options) reps(def int) int {
@@ -65,6 +68,7 @@ type runCfg struct {
 	seed       int64
 	yieldEvery int
 	tracer     machine.Tracer
+	maxSteps   uint64 // 0 = DefaultMaxSteps
 }
 
 // runResult is one measured run.
@@ -83,6 +87,12 @@ func runWorkload(w workloads.Workload, scale workloads.Scale, variant workloads.
 	if cfg.detector != nil {
 		det = cfg.detector()
 	}
+	maxSteps := cfg.maxSteps
+	if maxSteps == 0 {
+		// Every harness run carries a step budget so a buggy workload
+		// trips the livelock watchdog instead of hanging cleanbench.
+		maxSteps = DefaultMaxSteps
+	}
 	m := machine.New(machine.Config{
 		Seed:       cfg.seed,
 		DetSync:    cfg.detSync,
@@ -90,6 +100,7 @@ func runWorkload(w workloads.Workload, scale workloads.Scale, variant workloads.
 		Layout:     cfg.layout,
 		YieldEvery: cfg.yieldEvery,
 		Tracer:     cfg.tracer,
+		MaxSteps:   maxSteps,
 	})
 	root, out := w.Build(m, scale, variant)
 	start := time.Now()
@@ -181,6 +192,7 @@ func Experiments() []struct {
 		{"fig11", "Fig. 11: 1-byte and 4-byte epoch alternatives", Fig11},
 		{"ablation", "§7 claim: CLEAN vs FastTrack vs TSan-lite software detectors", Ablation},
 		{"static", "static verdicts vs CLEAN/FastTrack/oracle on fuzzed programs", Static},
+		{"resilience", "fault-injection matrix: graceful degradation + deterministic replay of failures", Resilience},
 	}
 }
 

@@ -104,6 +104,40 @@ type Config struct {
 	// exhaustive-exploration checker (internal/explore) drives runs
 	// through this hook.
 	Picker func(runnable []*Thread) int
+	// MaxSteps bounds the number of scheduler steps (dispatches plus
+	// stalled scheduling rounds); 0 means unlimited. Exceeding the budget
+	// stops the machine with a *LivelockError naming the starved thread —
+	// the Kendo-starvation watchdog.
+	MaxSteps uint64
+	// Injector, if non-nil, is consulted at deterministic points to
+	// inject faults (thread crashes, scheduler stalls, spurious wakeups,
+	// metadata corruption). internal/faults provides the standard
+	// implementation.
+	Injector Injector
+}
+
+// Injector is the deterministic fault-injection hook. Every method is
+// called at a point that is a pure function of (seed, program, plan), so a
+// firing fault reproduces identically under replay. A nil Injector injects
+// nothing.
+type Injector interface {
+	// Crash reports whether thread tid must die now, given its
+	// deterministic counter. Consulted once per charged operation.
+	Crash(tid int, counter uint64) bool
+	// CrashOnAcquire reports whether thread tid must die immediately
+	// after its n-th successful mutex acquisition — while holding the
+	// lock (orphaned-mutex fault).
+	CrashOnAcquire(tid int, n uint64) bool
+	// StallDispatch reports whether the scheduler must refuse to
+	// dispatch runnable thread tid at step.
+	StallDispatch(step uint64, tid int) bool
+	// SpuriousWake reports whether the condition-blocked thread tid
+	// should be woken without a signal at step.
+	SpuriousWake(step uint64, tid int) bool
+	// OnSharedAccess is called before the race check of the n-th shared
+	// access (1-based) at addr; implementations may corrupt detector
+	// metadata here (shadow bit flips).
+	OnSharedAccess(n, addr uint64)
 }
 
 // Stats aggregates the counters the evaluation section reports.
@@ -117,6 +151,9 @@ type Stats struct {
 	Rollovers       uint64    // clock-rollover resets performed (§4.5)
 	DetWaitYields   uint64    // scheduler yields spent waiting for the Kendo turn
 	Steps           uint64    // scheduler dispatches
+	Crashes         uint64    // injected thread deaths
+	SpuriousWakes   uint64    // injected spurious condition wakeups
+	StalledSteps    uint64    // scheduling rounds lost to injected stalls
 }
 
 // SharedAccesses returns the total number of instrumented accesses.
@@ -139,23 +176,33 @@ type Machine struct {
 
 	stopErr      error
 	resetPending bool
+	initErr      error // deferred configuration error, returned by Run
+	ran          bool
 
 	locks    []*Mutex
 	barriers []*Barrier
 
 	nextObjID uint64
+	sharedSeq uint64 // ordinal of shared accesses, for fault triggers
+
+	clockHW []uint32 // per-tid high-water of issued clocks (epoch sanity)
+
+	recent  [dumpDecisions]Decision // scheduler-decision ring for dumps
+	recentN uint64
 
 	stats         Stats
 	finalCounters map[int]uint64 // final det counter per spawn sequence number
 }
 
-// New returns a machine ready to Run.
+// New returns a machine ready to Run. An invalid configuration does not
+// panic: the error is stashed and returned, structured, by Run.
 func New(cfg Config) *Machine {
 	if cfg.Layout == (vclock.Layout{}) {
 		cfg.Layout = vclock.DefaultLayout
 	}
+	var initErr error
 	if err := cfg.Layout.Validate(); err != nil {
-		panic(err)
+		initErr = &MachineError{Kind: ErrConfig, TID: -1, Op: "new", Msg: err.Error()}
 	}
 	if cfg.YieldEvery < 1 {
 		cfg.YieldEvery = 1
@@ -167,6 +214,7 @@ func New(cfg Config) *Machine {
 		rng:           rand.New(rand.NewSource(cfg.Seed)),
 		yielded:       make(chan *Thread),
 		finalCounters: make(map[int]uint64),
+		initErr:       initErr,
 	}
 }
 
@@ -217,9 +265,31 @@ func (m *Machine) HashMem(addr uint64, n int) uint64 {
 // Run executes root as thread 0 and schedules all threads it spawns until
 // every thread finishes or the execution stops. It returns nil for a
 // completed execution, a *RaceError when the detector raised a race
-// exception, or a *DeadlockError when no thread can make progress.
-func (m *Machine) Run(root func(*Thread)) error {
-	t0 := m.newThread(root)
+// exception, a *DeadlockError when no thread can make progress, a
+// *LivelockError when the MaxSteps budget is exhausted, or a
+// *MachineError for a contained crash (workload panic, API misuse,
+// orphaned lock, bad configuration).
+func (m *Machine) Run(root func(*Thread)) (err error) {
+	if m.initErr != nil {
+		return m.initErr
+	}
+	if m.ran {
+		return &MachineError{Kind: ErrConfig, TID: -1, Op: "run", Msg: "machine is single-use; Run called twice"}
+	}
+	m.ran = true
+	// Contain scheduler-level panics (for example a misbehaving Picker)
+	// as structured errors. Thread goroutines may remain parked after
+	// such a failure — the machine is single-use, so they are abandoned.
+	defer func() {
+		if r := recover(); r != nil {
+			err = &MachineError{Kind: ErrScheduler, TID: -1, Op: "schedule",
+				Msg: fmt.Sprint(r), PanicValue: r, Dump: m.dump()}
+		}
+	}()
+	t0, terr := m.newThread(root)
+	if terr != nil {
+		return terr
+	}
 	// Start every clock at 1: a zero clock would make a thread's writes
 	// indistinguishable from the "never written" zero epoch and hide
 	// races on them. Spawned threads get this via the tick in Spawn.
@@ -227,8 +297,8 @@ func (m *Machine) Run(root func(*Thread)) error {
 	t0.state = stateRunnable
 	m.startGoroutine(t0)
 	for {
-		t := m.pick()
-		if t == nil {
+		t, stalled := m.pick()
+		if t == nil && !stalled {
 			if m.allFinished() {
 				break
 			}
@@ -243,6 +313,21 @@ func (m *Machine) Run(root func(*Thread)) error {
 			continue
 		}
 		m.stats.Steps++
+		if m.stopErr == nil && m.cfg.MaxSteps > 0 && m.stats.Steps > m.cfg.MaxSteps {
+			// Kendo-starvation watchdog: the budget is spent and the
+			// run has not finished — stop with a livelock report and
+			// let every thread unwind.
+			m.stopErr = m.livelockError()
+			m.forceUnblockAll()
+			continue
+		}
+		if t == nil {
+			// Every runnable thread is stalled by an injected fault
+			// this round; burn the step so finite stall windows pass.
+			m.stats.StalledSteps++
+			continue
+		}
+		m.note(t.ID)
 		t.resume <- struct{}{}
 		<-m.yielded
 		if m.stopErr != nil {
@@ -254,26 +339,64 @@ func (m *Machine) Run(root func(*Thread)) error {
 
 // pick selects the next runnable thread under the seeded policy, first
 // waking any deterministic-turn waiter that now holds the turn (or, with a
-// reset pending, every waiter, so it can park at the rendezvous).
-func (m *Machine) pick() *Thread {
+// reset pending, every waiter, so it can park at the rendezvous). The
+// second result reports that runnable threads exist but every one of them
+// is stalled by an injected scheduler fault this round.
+func (m *Machine) pick() (*Thread, bool) {
 	m.wakeDetWaiters()
+	m.injectSpuriousWakes()
+	inj := m.cfg.Injector
 	var runnable []*Thread
+	stalled := false
 	for _, t := range m.threads {
-		if t != nil && t.state == stateRunnable {
-			runnable = append(runnable, t)
+		if t == nil || t.state != stateRunnable {
+			continue
 		}
+		if m.stopErr == nil && inj != nil && inj.StallDispatch(m.stats.Steps, t.ID) {
+			stalled = true
+			continue
+		}
+		runnable = append(runnable, t)
 	}
 	if len(runnable) == 0 {
-		return nil
+		return nil, stalled
 	}
 	if m.cfg.Picker != nil {
 		i := m.cfg.Picker(runnable)
 		if i < 0 || i >= len(runnable) {
 			panic(fmt.Sprintf("machine: Picker returned %d of %d runnable", i, len(runnable)))
 		}
-		return runnable[i]
+		return runnable[i], false
 	}
-	return runnable[m.rng.Intn(len(runnable))]
+	return runnable[m.rng.Intn(len(runnable))], false
+}
+
+// injectSpuriousWakes wakes condition-blocked threads the fault plan says
+// should resume without a signal, removing them from their condition's
+// waiter list so a later Signal does not wake them twice.
+func (m *Machine) injectSpuriousWakes() {
+	inj := m.cfg.Injector
+	if inj == nil || m.stopErr != nil {
+		return
+	}
+	for _, t := range m.threads {
+		if t == nil || t.state != stateBlocked || t.waitingCond == nil {
+			continue
+		}
+		if !inj.SpuriousWake(m.stats.Steps, t.ID) {
+			continue
+		}
+		c := t.waitingCond
+		for i, w := range c.waiters {
+			if w == t {
+				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+				break
+			}
+		}
+		t.spurious = true
+		t.state = stateRunnable
+		m.stats.SpuriousWakes++
+	}
 }
 
 // wakeDetWaiters resumes deterministic-turn waiters that can make
@@ -365,15 +488,46 @@ func (m *Machine) performReset() {
 }
 
 // tickClock advances t's main vector-clock element (done on release-type
-// synchronization operations) and requests a rollover reset when the clock
+// synchronization operations), records the per-tid clock high-water used
+// by the epoch sanity check, and requests a rollover reset when the clock
 // reaches the layout's limit.
 func (m *Machine) tickClock(t *Thread) {
-	if t.VC.Tick(t.ID) >= m.layout.MaxClock() {
+	c := t.VC.Tick(t.ID)
+	if c > m.clockHW[t.ID] {
+		m.clockHW[t.ID] = c
+	}
+	if c >= m.layout.MaxClock() {
 		m.resetPending = true
 	}
 }
 
-func (m *Machine) newThread(fn func(*Thread)) *Thread {
+// EpochSane reports whether epoch e could legitimately have been produced
+// by this run: a canonical field encoding (no reserved bits set), a thread
+// id that has been allocated, and a clock no greater than that thread has
+// ever issued. The CLEAN detector consults it so corrupted shadow metadata
+// (a flipped bit) degrades to a monitor-mode re-check instead of a bogus
+// race exception or a crash.
+func (m *Machine) EpochSane(e vclock.Epoch) bool {
+	if e == 0 {
+		return true
+	}
+	tid := m.layout.TID(e)
+	clock := m.layout.Clock(e)
+	if m.layout.Pack(tid, clock) != e {
+		return false // reserved or out-of-field bits set
+	}
+	if tid >= m.nextTID {
+		return false // epoch attributed to a thread never started
+	}
+	if clock > m.clockHW[tid] {
+		return false // clock from the future
+	}
+	return true
+}
+
+// errTIDSpace reports that the thread-id space of the epoch layout is
+// exhausted; newThread returns it instead of panicking.
+func (m *Machine) newThread(fn func(*Thread)) (*Thread, error) {
 	var tid int
 	if len(m.freeTIDs) > 0 {
 		tid = m.freeTIDs[0]
@@ -383,7 +537,9 @@ func (m *Machine) newThread(fn func(*Thread)) *Thread {
 		m.nextTID++
 	}
 	if tid > m.layout.MaxTID() {
-		panic(fmt.Sprintf("machine: thread id %d exceeds layout capacity %d", tid, m.layout.MaxTID()))
+		return nil, &MachineError{Kind: ErrConfig, TID: -1, Op: "spawn",
+			Msg:  fmt.Sprintf("thread id %d exceeds layout capacity %d", tid, m.layout.MaxTID()),
+			Dump: m.dump()}
 	}
 	t := &Thread{
 		ID:     tid,
@@ -397,18 +553,33 @@ func (m *Machine) newThread(fn func(*Thread)) *Thread {
 	for len(m.threads) <= tid {
 		m.threads = append(m.threads, nil)
 	}
+	for len(m.clockHW) <= tid {
+		m.clockHW = append(m.clockHW, 0)
+	}
 	m.threads[tid] = t
-	return t
+	return t, nil
 }
 
 // startGoroutine launches t's goroutine; it waits for its first dispatch.
+// Its exit path is the containment boundary: workload panics become
+// structured *MachineError values, injected crashes mark the thread dead
+// and orphan its locks, and in all cases joiners are released.
 func (m *Machine) startGoroutine(t *Thread) {
 	go func() {
 		<-t.resume
 		defer func() {
-			if r := recover(); r != nil && r != stopToken {
-				m.stop(fmt.Errorf("machine: thread %d panicked: %v", t.ID, r))
+			switch r := recover(); r {
+			case nil, stopToken:
+				// Normal completion or machine-stop unwinding.
+			case crashToken:
+				// Injected thread death: the machine survives it.
+				t.crashed = true
+				m.stats.Crashes++
+			default:
+				m.stop(&MachineError{Kind: ErrPanic, TID: t.ID, Op: "run",
+					Msg: fmt.Sprintf("thread %d panicked: %v", t.ID, r), PanicValue: r, Dump: m.dump()})
 			}
+			m.reapLocks(t)
 			t.state = stateFinished
 			m.finalCounters[t.Seq] = t.DetCounter
 			for _, j := range t.joiners {
@@ -424,6 +595,26 @@ func (m *Machine) startGoroutine(t *Thread) {
 		}
 		t.fn(t)
 	}()
+}
+
+// reapLocks handles a terminating thread's held mutexes: a thread that
+// dies (or returns) while holding locks orphans them. Orphaned mutexes are
+// detected — waiters are woken to observe the orphan and every later
+// acquisition attempt fails with a structured ErrOrphanedLock — instead of
+// being silently trusted and deadlocking the workload.
+func (m *Machine) reapLocks(t *Thread) {
+	for _, l := range t.held {
+		l.orphaned = true
+		l.deadHolderID = t.ID
+		l.deadHolderSeq = t.Seq
+		for _, w := range l.waiters {
+			if w.state == stateBlocked {
+				w.state = stateRunnable
+			}
+		}
+		l.waiters = nil
+	}
+	t.held = nil
 }
 
 func (m *Machine) trace(tid int, kind SyncEvent, obj uint64) {

@@ -17,6 +17,13 @@ type Mutex struct {
 	holder  *Thread
 	vc      vclock.VC
 	waiters []*Thread // blocked acquirers (nondeterministic mode only)
+
+	// orphaned marks a mutex whose holder died without releasing it;
+	// deadHolderID/Seq identify the dead holder for diagnostics. Any
+	// later acquisition attempt fails with a structured ErrOrphanedLock.
+	orphaned      bool
+	deadHolderID  int
+	deadHolderSeq int
 }
 
 // NewMutex creates a mutex on machine m.
@@ -127,11 +134,12 @@ func (t *Thread) syncDone() {
 }
 
 // Lock acquires l, blocking (nondeterministic mode) or deterministically
-// retrying (Kendo mode) while it is held.
+// retrying (Kendo mode) while it is held. Acquiring a mutex orphaned by a
+// dead holder stops the machine with a structured ErrOrphanedLock.
 func (t *Thread) Lock(l *Mutex) {
 	m := t.m
 	if l.m != m {
-		panic("machine: mutex used on wrong machine")
+		t.fail(ErrMisuse, "lock", "mutex %d used on wrong machine", l.id)
 	}
 	t.syncEnter()
 	if m.cfg.DetSync {
@@ -139,6 +147,7 @@ func (t *Thread) Lock(l *Mutex) {
 		// turn, so the acquire order is deterministic. A failed
 		// attempt deterministically advances the counter and retries.
 		for l.holder != nil {
+			t.checkOrphan(l)
 			t.DetCounter++
 			m.stats.Ops++
 			kendoRT{m: m, t: t}.Yield()
@@ -146,14 +155,30 @@ func (t *Thread) Lock(l *Mutex) {
 		}
 	} else {
 		for l.holder != nil {
+			t.checkOrphan(l)
 			l.waiters = append(l.waiters, t)
-			t.block()
+			t.block("mutex " + fmt.Sprint(l.id))
 		}
 	}
+	t.checkOrphan(l)
 	l.holder = t
+	t.held = append(t.held, l)
 	t.VC.Join(l.vc)
 	t.syncDone()
 	m.trace(t.ID, SyncAcquire, l.id)
+	t.acquires++
+	if inj := m.cfg.Injector; inj != nil && inj.CrashOnAcquire(t.ID, t.acquires) {
+		t.crash() // lock-holder death: l is now orphaned
+	}
+}
+
+// checkOrphan stops the machine when t tries to take a mutex whose holder
+// died without releasing it.
+func (t *Thread) checkOrphan(l *Mutex) {
+	if l.orphaned {
+		t.fail(ErrOrphanedLock, "lock", "mutex %d orphaned by crashed thread %d (seq %d)",
+			l.id, l.deadHolderID, l.deadHolderSeq)
+	}
 }
 
 // Unlock releases l, which must be held by t.
@@ -168,11 +193,17 @@ func (t *Thread) Unlock(l *Mutex) {
 // CondWait uses it while already holding the turn.
 func (t *Thread) unlockLocked(l *Mutex) {
 	if l.holder != t {
-		panic(fmt.Sprintf("machine: thread %d unlocking mutex held by %v", t.ID, holderID(l)))
+		t.fail(ErrMisuse, "unlock", "thread %d unlocking mutex %d held by %v", t.ID, l.id, holderID(l))
 	}
 	l.vc = t.VC.Copy()
 	t.m.tickClock(t)
 	l.holder = nil
+	for i, h := range t.held {
+		if h == l {
+			t.held = append(t.held[:i], t.held[i+1:]...)
+			break
+		}
+	}
 	if !t.m.cfg.DetSync && len(l.waiters) > 0 {
 		// Wake one blocked acquirer, chosen by the seeded policy —
 		// this is a source of scheduling nondeterminism.
@@ -191,20 +222,31 @@ func holderID(l *Mutex) interface{} {
 }
 
 // CondWait atomically releases l and suspends t until a Signal or
-// Broadcast wakes it, then re-acquires l. There are no spurious wakeups.
+// Broadcast wakes it, then re-acquires l. Spurious wakeups occur only
+// under fault injection (machine.Injector); as with pthreads, robust
+// workloads re-check their predicate in a loop around CondWait.
 func (t *Thread) CondWait(c *Cond, l *Mutex) {
 	m := t.m
 	t.syncEnter()
 	if l.holder != t {
-		panic(fmt.Sprintf("machine: thread %d waiting on cond without holding the mutex", t.ID))
+		t.fail(ErrMisuse, "condwait", "thread %d waiting on cond %d without holding the mutex", t.ID, c.id)
 	}
 	t.unlockLocked(l)
 	t.syncDone()
 	m.trace(t.ID, SyncCondWait, c.id)
 	c.waiters = append(c.waiters, t)
 	t.wakeVC = vclock.VC{}
-	t.block()
-	// Woken: consume the waker's stashed clock and counter.
+	t.wakerCounter = 0
+	t.waitingCond = c
+	t.block("cond " + fmt.Sprint(c.id))
+	t.waitingCond = nil
+	if t.spurious {
+		// Injected spurious wakeup: no waker, so no clock or counter to
+		// consume — the thread simply re-acquires the mutex.
+		t.spurious = false
+	}
+	// Woken: consume the waker's stashed clock and counter (both zero
+	// after a spurious wakeup).
 	t.VC.Join(t.wakeVC)
 	t.wakeVC = vclock.VC{}
 	if m.cfg.DetSync {
@@ -265,7 +307,7 @@ func (t *Thread) BarrierWait(b *Barrier) {
 	if b.arrived < b.n {
 		b.waiting = append(b.waiting, t)
 		t.syncDone()
-		t.block()
+		t.block("barrier " + fmt.Sprint(b.id))
 		return
 	}
 	// Last arrival: release everyone with the joint clock.
@@ -298,7 +340,11 @@ func (t *Thread) BarrierWait(b *Barrier) {
 func (t *Thread) Spawn(fn func(*Thread)) *Thread {
 	m := t.m
 	t.syncEnter()
-	child := m.newThread(fn)
+	child, err := m.newThread(fn)
+	if err != nil {
+		m.stop(err)
+		panic(stopToken)
+	}
 	child.VC = t.VC.Copy()
 	m.tickClock(child)
 	m.tickClock(t)
@@ -317,15 +363,15 @@ func (t *Thread) Spawn(fn func(*Thread)) *Thread {
 func (t *Thread) Join(child *Thread) {
 	m := t.m
 	if child == t {
-		panic("machine: thread joining itself")
+		t.fail(ErrMisuse, "join", "thread %d joining itself", t.ID)
 	}
 	t.syncEnter()
 	if child.joined {
-		panic(fmt.Sprintf("machine: thread %d joined twice", child.Seq))
+		t.fail(ErrMisuse, "join", "thread %d (seq %d) joined twice", child.ID, child.Seq)
 	}
 	for child.state != stateFinished {
 		child.joiners = append(child.joiners, t)
-		t.block()
+		t.block("join seq " + fmt.Sprint(child.Seq))
 	}
 	child.joined = true
 	t.VC.Join(child.VC)

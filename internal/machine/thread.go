@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/memory"
@@ -21,6 +22,10 @@ const (
 // stopToken is the panic value used to unwind thread goroutines when the
 // machine stops (race exception, deadlock, or a sibling thread's panic).
 var stopToken = new(int)
+
+// crashToken is the panic value used to unwind a single thread that dies
+// to an injected fault; unlike stopToken it does not stop the machine.
+var crashToken = new(int)
 
 // Thread is a logical thread of the simulated machine. Workload functions
 // receive a Thread and perform all memory and synchronization operations
@@ -53,6 +58,23 @@ type Thread struct {
 	wakerCounter uint64
 
 	opsSinceYield int
+
+	// held lists the mutexes this thread currently holds; a thread that
+	// dies with a non-empty list orphans them (see Machine.reapLocks).
+	held []*Mutex
+	// acquires counts successful mutex acquisitions, the trigger for the
+	// lock-holder-death fault.
+	acquires uint64
+	// blockedOn describes, for diagnostic dumps, what the thread is
+	// currently waiting for.
+	blockedOn string
+	// waitingCond is the condition variable the thread is blocked on, if
+	// any; the spurious-wakeup fault needs it to delist the thread.
+	waitingCond *Cond
+	// spurious marks that the current wakeup was injected, not signalled.
+	spurious bool
+	// crashed marks a thread that died to an injected fault.
+	crashed bool
 }
 
 // Machine returns the machine this thread runs on.
@@ -67,11 +89,15 @@ func (t *Thread) yield() {
 	}
 }
 
-// step charges one (or n) deterministic events to the thread and yields at
-// the configured granularity.
+// step charges one (or n) deterministic events to the thread, applies any
+// planned crash fault at the resulting counter, and yields at the
+// configured granularity.
 func (t *Thread) step(n int) {
 	t.DetCounter += uint64(n)
 	t.m.stats.Ops += uint64(n)
+	if inj := t.m.cfg.Injector; inj != nil && t.m.stopErr == nil && inj.Crash(t.ID, t.DetCounter) {
+		t.crash()
+	}
 	t.opsSinceYield += n
 	if t.opsSinceYield >= t.m.cfg.YieldEvery {
 		t.opsSinceYield = 0
@@ -81,6 +107,20 @@ func (t *Thread) step(n int) {
 	}
 }
 
+// crash kills the thread mid-execution (an injected fault): its goroutine
+// unwinds, its held locks are orphaned, and the machine keeps running.
+func (t *Thread) crash() {
+	panic(crashToken)
+}
+
+// fail stops the machine with a structured contained-failure report and
+// unwinds the calling thread.
+func (t *Thread) fail(kind MachineErrorKind, op, format string, args ...interface{}) {
+	t.m.stop(&MachineError{Kind: kind, TID: t.ID, Op: op,
+		Msg: fmt.Sprintf(format, args...), Dump: t.m.dump()})
+	panic(stopToken)
+}
+
 // park stalls the thread at a synchronization boundary until the pending
 // rollover reset completes (§4.5).
 func (t *Thread) park() {
@@ -88,10 +128,13 @@ func (t *Thread) park() {
 	t.yield()
 }
 
-// block suspends the thread until another thread makes it runnable.
-func (t *Thread) block() {
+// block suspends the thread until another thread makes it runnable; why
+// describes the wait for diagnostic dumps.
+func (t *Thread) block(why string) {
+	t.blockedOn = why
 	t.state = stateBlocked
 	t.yield()
+	t.blockedOn = ""
 }
 
 // Work advances the thread by n units of private computation. It is the
@@ -169,6 +212,11 @@ func (t *Thread) access(addr uint64, size int, write bool, v uint64) uint64 {
 		}
 		if size < len(m.stats.AccessBySize) {
 			m.stats.AccessBySize[size]++
+		}
+		m.sharedSeq++
+		if inj := m.cfg.Injector; inj != nil && m.stopErr == nil {
+			// Metadata-corruption faults fire just before the check.
+			inj.OnSharedAccess(m.sharedSeq, addr)
 		}
 	} else {
 		m.stats.PrivateAccesses++
