@@ -35,11 +35,13 @@
 package clean
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/fasttrack"
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 	"repro/internal/tsanlite"
 	"repro/internal/vclock"
 	"repro/internal/workloads"
@@ -80,6 +82,34 @@ type (
 	// RaceKind classifies a race (WAW, RAW, WAR).
 	RaceKind = machine.RaceKind
 )
+
+// Re-exported telemetry types: the observability surface.
+type (
+	// Metrics is a per-run metric registry (counters, gauges, bounded
+	// histograms); attach one via Config.Metrics. Nil disables metrics.
+	Metrics = telemetry.Registry
+	// Timeline records a run as per-thread spans and renders Chrome
+	// trace-event / Perfetto JSON; attach one via Config.Timeline.
+	Timeline = telemetry.Timeline
+	// MetricsSnapshot is the serialized state of a Metrics registry.
+	MetricsSnapshot = telemetry.Snapshot
+	// RunReport is the schema-versioned machine-readable record of one
+	// run; RunWorkload fills Report.Telemetry with one when Config.Metrics
+	// is set.
+	RunReport = telemetry.RunReport
+)
+
+// NewMetrics returns an empty enabled metric registry.
+func NewMetrics() *Metrics { return telemetry.NewRegistry() }
+
+// NewTimeline returns an empty enabled timeline.
+func NewTimeline() *Timeline { return telemetry.NewTimeline() }
+
+// DecodeRunReport parses and validates an encoded RunReport; unknown
+// fields or a schema-version mismatch are errors.
+func DecodeRunReport(data []byte) (*RunReport, error) {
+	return telemetry.DecodeRunReport(data)
+}
 
 // Race kinds.
 const (
@@ -147,6 +177,14 @@ type Config struct {
 	// callbacks (see internal/faults for the deterministic plan-driven
 	// implementation).
 	FaultInjector Injector
+	// Metrics, if non-nil, receives the run's counters: machine, detector
+	// (CLEAN only) and Kendo-wait metrics under dotted names
+	// (machine.shared_reads, core.epoch_loads, kendo.wait_ops, …).
+	Metrics *Metrics
+	// Timeline, if non-nil, records the run's per-thread spans; write it
+	// out with Timeline.WriteTo and load the JSON in Perfetto or
+	// chrome://tracing.
+	Timeline *Timeline
 }
 
 func (c Config) layout() vclock.Layout {
@@ -198,6 +236,8 @@ func NewMachineWithDetector(cfg Config, det Detector) *Machine {
 		MaxSteps:   cfg.MaxSteps,
 		Tracer:     cfg.Tracer,
 		Injector:   cfg.FaultInjector,
+		Metrics:    cfg.Metrics,
+		Timeline:   cfg.Timeline,
 	})
 }
 
@@ -238,6 +278,9 @@ type Report struct {
 	FinalCounters []uint64
 	// Elapsed is the wall-clock run time.
 	Elapsed time.Duration
+	// Telemetry is the schema-versioned run report, filled when
+	// Config.Metrics was set; Telemetry.Encode renders it as JSON.
+	Telemetry *RunReport
 }
 
 // RunWorkload builds and runs one benchmark stand-in. scale is "test",
@@ -256,7 +299,8 @@ func RunWorkload(name, scale string, modified bool, cfg Config) (*Report, error)
 	if modified {
 		variant = workloads.Modified
 	}
-	m := NewMachine(cfg)
+	det := cfg.detector()
+	m := NewMachineWithDetector(cfg, det)
 	root, out := w.Build(m, sc, variant)
 	start := time.Now()
 	runErr := m.Run(root)
@@ -269,7 +313,62 @@ func RunWorkload(name, scale string, modified bool, cfg Config) (*Report, error)
 	if runErr == nil {
 		rep.OutputHash = m.HashMem(out.Addr, out.Len)
 	}
+	if cd, ok := det.(*core.Detector); ok {
+		cd.Stats().PublishTo(cfg.Metrics)
+	}
+	if cfg.Metrics != nil {
+		tr := telemetry.NewRunReport()
+		tr.Workload = name
+		tr.Scale = sc.String()
+		tr.Variant = variant.String()
+		tr.Detector = cfg.Detection.String()
+		tr.Seed = cfg.Seed
+		tr.DetSync = cfg.DeterministicSync
+		tr.Outcome = classifyOutcome(runErr)
+		if runErr != nil {
+			tr.Error = runErr.Error()
+		} else {
+			tr.OutputHash = telemetry.FormatHash(rep.OutputHash)
+		}
+		tr.ElapsedSeconds = rep.Elapsed.Seconds()
+		tr.Metrics = cfg.Metrics.Snapshot()
+		rep.Telemetry = tr
+	}
 	return rep, nil
+}
+
+// String names the detector choice for reports and CLIs.
+func (d Detection) String() string {
+	switch d {
+	case DetectCLEAN:
+		return "clean"
+	case DetectFastTrack:
+		return "fasttrack"
+	case DetectTSanLite:
+		return "tsanlite"
+	}
+	return "none"
+}
+
+// classifyOutcome maps a Run error to the RunReport outcome vocabulary.
+func classifyOutcome(err error) string {
+	var race *RaceError
+	var dead *DeadlockError
+	var live *LivelockError
+	var merr *MachineError
+	switch {
+	case err == nil:
+		return "completed"
+	case errors.As(err, &race):
+		return "race-exception"
+	case errors.As(err, &dead):
+		return "deadlock"
+	case errors.As(err, &live):
+		return "livelock"
+	case errors.As(err, &merr):
+		return "contained-crash"
+	}
+	return "error"
 }
 
 // UnknownWorkloadError reports a benchmark name not in the registry.

@@ -5,6 +5,8 @@
 //
 //	cleanbench -exp fig9                # one experiment
 //	cleanbench -exp all -reps 10        # everything, paper-grade reps
+//	cleanbench -exp perf -json .        # machine-readable BENCH_perf.json
+//	cleanbench -exp fig6 -cpuprofile cpu.pb.gz  # profile the harness itself
 //	cleanbench -list                    # show available experiments
 package main
 
@@ -13,6 +15,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/harness"
 	"repro/internal/workloads"
@@ -29,6 +33,9 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		verbose = flag.Bool("v", false, "verbose output")
 		artDir  = flag.String("artifacts", "", "directory for diagnostic dumps of resilience violations")
+		jsonDir = flag.String("json", "", "directory for machine-readable BENCH_<experiment>.json results")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -39,7 +46,38 @@ func main() {
 		return
 	}
 
-	opts := harness.Options{Reps: *reps, YieldEvery: *yieldEv, Verbose: *verbose, ArtifactDir: *artDir}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC() // flush recently freed objects so the profile shows live memory
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	opts := harness.Options{Reps: *reps, YieldEvery: *yieldEv, Verbose: *verbose, ArtifactDir: *artDir, JSONDir: *jsonDir}
 	if *scale != "" {
 		s, err := workloads.ParseScale(*scale)
 		if err != nil {

@@ -8,6 +8,8 @@
 //	cleanrun -w dedup -variant unmodified        # racy run → race exception
 //	cleanrun -w fft -det clean -detsync -seed 3  # deterministic clean run
 //	cleanrun -w fft -faults thread-crash         # inject a deterministic fault
+//	cleanrun -w fft -timeline out.json           # Perfetto/chrome://tracing timeline
+//	cleanrun -w fft -report -                    # schema-versioned RunReport JSON
 //	cleanrun -list                               # show the registry
 package main
 
@@ -38,6 +40,8 @@ func main() {
 		diagnose = flag.Bool("diagnose", false, "on a race exception, rerun in monitor modes and list all findings (§3.1)")
 		maxSteps = flag.Uint64("maxsteps", 0, "scheduler-step budget; exhausting it raises a livelock error (0 = unbounded)")
 		faultStr = flag.String("faults", "", "inject a deterministic fault and verify its replay: "+faultKindList())
+		timeline = flag.String("timeline", "", "write a Chrome trace-event / Perfetto JSON timeline of the run to this file")
+		report   = flag.String("report", "", "write the run's schema-versioned RunReport JSON to this file (- for stdout)")
 	)
 	flag.Parse()
 
@@ -73,14 +77,37 @@ func main() {
 		return
 	}
 
-	rep, err := clean.RunWorkload(*name, *scale, *variant == "modified", clean.Config{
+	cfg := clean.Config{
 		Seed:              *seed,
 		Detection:         detection,
 		DeterministicSync: *detsync,
 		MaxSteps:          *maxSteps,
-	})
+	}
+	var tl *clean.Timeline
+	if *timeline != "" {
+		tl = clean.NewTimeline()
+		cfg.Timeline = tl
+	}
+	if *report != "" {
+		cfg.Metrics = clean.NewMetrics()
+	}
+	rep, err := clean.RunWorkload(*name, *scale, *variant == "modified", cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *timeline != "" {
+		if err := writeTimeline(*timeline, tl); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline:   %s (%d events; load in Perfetto or chrome://tracing)\n", *timeline, tl.Events())
+	}
+	if *report != "" {
+		if err := writeReport(*report, rep.Telemetry); err != nil {
+			log.Fatal(err)
+		}
+		if *report != "-" {
+			fmt.Printf("report:     %s\n", *report)
+		}
 	}
 
 	fmt.Printf("workload:   %s (%s, %s)\n", *name, *scale, *variant)
@@ -145,4 +172,30 @@ func faultKindList() string {
 		names = append(names, k.String())
 	}
 	return strings.Join(names, ", ")
+}
+
+// writeTimeline renders the recorded timeline into path.
+func writeTimeline(path string, tl *clean.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := tl.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeReport encodes the run report into path, or stdout for "-".
+func writeReport(path string, rep *clean.RunReport) error {
+	data, err := rep.Encode()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

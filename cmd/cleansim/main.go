@@ -8,6 +8,7 @@
 //
 //	cleansim -w dedup                    # CLEAN hardware vs baseline
 //	cleansim -w ocean_cp -scheme epoch4  # Fig. 11 alternative design
+//	cleansim -w fft -report sim.json     # machine-readable hwsim RunReport
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	clean "repro"
 	"repro/internal/hwsim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -32,6 +34,7 @@ func main() {
 		seed   = flag.Int64("seed", 1, "scheduler seed for the traced run")
 		save   = flag.String("save", "", "write the recorded trace to this file")
 		load   = flag.String("load", "", "replay a previously saved trace instead of running the workload")
+		report = flag.String("report", "", "write the simulation's hwsim.* counters as RunReport JSON to this file (- for stdout)")
 	)
 	flag.Parse()
 
@@ -113,4 +116,37 @@ func main() {
 	fmt.Printf("\ncaches: L1 %d, L2 %d local / %d remote, L3 %d, memory %d (LLC miss %.2f%%)\n",
 		r.Hier.L1Hits, r.Hier.L2LocalHits, r.Hier.L2RemoteHits,
 		r.Hier.L3Hits, r.Hier.MemAccesses, r.Hier.LLCMissRate()*100)
+
+	if *report != "" {
+		if err := writeReport(*report, *name, *scale, *scheme, *seed, r); err != nil {
+			log.Fatal(err)
+		}
+		if *report != "-" {
+			fmt.Printf("\nreport written to %s\n", *report)
+		}
+	}
+}
+
+// writeReport renders the simulation result as a schema-versioned
+// RunReport carrying the hwsim.* counters (Fig. 10 classification, cache
+// hierarchy, compact/expanded line stats).
+func writeReport(path, name, scale, scheme string, seed int64, r hwsim.Result) error {
+	reg := telemetry.NewRegistry()
+	r.PublishTo(reg)
+	rep := telemetry.NewRunReport()
+	rep.Workload = name
+	rep.Scale = scale
+	rep.Variant = "hwsim/" + scheme
+	rep.Seed = seed
+	rep.Outcome = "completed"
+	rep.Metrics = reg.Snapshot()
+	data, err := rep.Encode()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

@@ -31,6 +31,7 @@ import (
 	"repro/internal/prog"
 	"repro/internal/progen"
 	"repro/internal/staticrace"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -49,6 +50,7 @@ func main() {
 		maxruns = flag.Int("maxruns", 200000, "interleaving budget for -confirm exploration")
 		show    = flag.Bool("print", false, "print the program source before the report")
 		list    = flag.Bool("list", false, "list litmus programs and exit")
+		jsonOut = flag.String("json", "", "write the analysis as RunReport JSON to this file (- for stdout)")
 	)
 	flag.Parse()
 
@@ -73,6 +75,11 @@ func main() {
 
 	rep := staticrace.Analyze(p)
 	printReport(desc, p, rep)
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, desc, p, rep); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	verdict := rep.Verdict()
 	if *confirm && !confirmVerdict(p, rep, *maxruns) {
@@ -140,6 +147,35 @@ func printReport(desc string, p *prog.Program, rep *staticrace.Report) {
 		fmt.Printf("  %v\n", pair)
 	}
 	fmt.Printf("verdict:   %v\n", rep.Verdict())
+}
+
+// writeJSON renders the static analysis as a schema-versioned RunReport
+// with staticrace.* counters, for the same tooling that consumes cleanrun
+// and cleansim reports.
+func writeJSON(path, desc string, p *prog.Program, rep *staticrace.Report) error {
+	reg := telemetry.NewRegistry()
+	reg.Counter("staticrace.threads").Add(uint64(len(p.Threads)))
+	reg.Counter("staticrace.ops").Add(uint64(p.NumOps()))
+	reg.Counter("staticrace.accesses").Add(uint64(len(rep.Accesses)))
+	rf, may, must := rep.Counts()
+	reg.Counter("staticrace.pairs.lock_protected").Add(uint64(rf))
+	reg.Counter("staticrace.pairs.may_race").Add(uint64(may))
+	reg.Counter("staticrace.pairs.must_race").Add(uint64(must))
+	out := telemetry.NewRunReport()
+	out.Workload = desc
+	out.Outcome = "completed"
+	out.Detector = "staticrace"
+	out.Variant = rep.Verdict().String()
+	out.Metrics = reg.Snapshot()
+	data, err := out.Encode()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // confirmVerdict checks the static verdict against the machine and

@@ -24,6 +24,7 @@ package core
 import (
 	"repro/internal/machine"
 	"repro/internal/shadow"
+	"repro/internal/telemetry"
 	"repro/internal/vclock"
 )
 
@@ -71,6 +72,28 @@ type Stats struct {
 	// monitor-mode re-check, instead of producing a bogus race
 	// exception or a crash.
 	MetadataRepairs uint64
+}
+
+// PublishTo records the detector's work counters into reg under the core.*
+// namespace, plus the §4.4 same-epoch rate the paper reports above 99.7%.
+// The detector increments plain Stats fields on its hot path and publishes
+// once per run, so the registry costs the check nothing. Nil reg is a no-op.
+func (s Stats) PublishTo(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("core.accesses").Add(s.Accesses)
+	reg.Counter("core.byte_checks").Add(s.ByteChecks)
+	reg.Counter("core.epoch_loads").Add(s.EpochLoads)
+	reg.Counter("core.epoch_updates").Add(s.EpochUpdates)
+	reg.Counter("core.multibyte_accesses").Add(s.MultibyteAccesses)
+	reg.Counter("core.multibyte_same_epoch").Add(s.MultibyteSameEpoch)
+	reg.Counter("core.same_epoch_skips").Add(s.SameEpochSkips)
+	reg.Counter("core.metadata_repairs").Add(s.MetadataRepairs)
+	if s.MultibyteAccesses > 0 {
+		reg.Gauge("core.multibyte_same_epoch_rate").
+			Set(float64(s.MultibyteSameEpoch) / float64(s.MultibyteAccesses))
+	}
 }
 
 // Detector is the CLEAN WAW/RAW race detector. It implements

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vclock"
 	"repro/internal/workloads"
@@ -37,6 +38,11 @@ type Options struct {
 	// ArtifactDir, if non-empty, receives diagnostic dump files for
 	// resilience-experiment violations (CI uploads them on failure).
 	ArtifactDir string
+	// JSONDir, if non-empty, makes experiments with machine-readable
+	// results write a schema-versioned BENCH_<experiment>.json there
+	// (telemetry.BenchFile); CI uploads them as the performance
+	// trajectory.
+	JSONDir string
 }
 
 func (o Options) reps(def int) int {
@@ -69,6 +75,11 @@ type runCfg struct {
 	yieldEvery int
 	tracer     machine.Tracer
 	maxSteps   uint64 // 0 = DefaultMaxSteps
+	// metrics, if non-nil, receives the machine's counters plus the
+	// CLEAN detector's core.* counters when the run ends.
+	metrics *telemetry.Registry
+	// timeline, if non-nil, records the run's per-thread spans.
+	timeline *telemetry.Timeline
 }
 
 // runResult is one measured run.
@@ -101,6 +112,8 @@ func runWorkload(w workloads.Workload, scale workloads.Scale, variant workloads.
 		YieldEvery: cfg.yieldEvery,
 		Tracer:     cfg.tracer,
 		MaxSteps:   maxSteps,
+		Metrics:    cfg.metrics,
+		Timeline:   cfg.timeline,
 	})
 	root, out := w.Build(m, scale, variant)
 	start := time.Now()
@@ -118,6 +131,7 @@ func runWorkload(w workloads.Workload, scale workloads.Scale, variant workloads.
 	if cd, ok := det.(*core.Detector); ok {
 		s := cd.Stats()
 		res.detStats = &s
+		s.PublishTo(cfg.metrics)
 	}
 	return res
 }
@@ -190,6 +204,7 @@ func Experiments() []struct {
 		{"fig9", "Fig. 9: hardware-supported race detection slowdown", Fig9},
 		{"fig10", "Fig. 10: breakdown of memory accesses", Fig10},
 		{"fig11", "Fig. 11: 1-byte and 4-byte epoch alternatives", Fig11},
+		{"perf", "telemetry: per-run metrics reports, Fig. 7 frequencies in BENCH_perf.json", Perf},
 		{"ablation", "§7 claim: CLEAN vs FastTrack vs TSan-lite software detectors", Ablation},
 		{"static", "static verdicts vs CLEAN/FastTrack/oracle on fuzzed programs", Static},
 		{"resilience", "fault-injection matrix: graceful degradation + deterministic replay of failures", Resilience},

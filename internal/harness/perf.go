@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/workloads"
+)
+
+// Perf is the telemetry experiment: every performance-suite workload runs
+// twice — without detection (the Fig. 7 baseline) and under CLEAN with
+// deterministic synchronization — with a metrics registry attached, and
+// each run becomes one RunReport. With Options.JSONDir set, the collected
+// reports are written to BENCH_perf.json; the baseline runs use exactly
+// the Fig. 7 configuration, so the machine.shared_per_1k_ops gauge in the
+// file reproduces that figure's shared-access frequencies.
+func Perf(w io.Writer, o Options) error {
+	scale := o.scale(workloads.ScaleNative)
+	ye := o.yieldEvery()
+	bench := telemetry.NewBenchFile("perf")
+	tb := stats.NewTable("benchmark", "variant", "shared/1k ops", "ops", "sync ops", "kendo waits", "outcome")
+
+	var freqs []float64
+	for _, wl := range perfSuite() {
+		type cfgRow struct {
+			label    string
+			detector string
+			cfg      runCfg
+		}
+		rows := []cfgRow{
+			// The Fig. 7 configuration: no detector, nondeterministic
+			// scheduling, seed 0.
+			{label: "base", detector: "none", cfg: runCfg{yieldEvery: ye}},
+			// CLEAN + Kendo: the paper's full software system, for the
+			// detector and wait-time counters.
+			{label: "clean", detector: "clean", cfg: runCfg{
+				detSync:    true,
+				yieldEvery: ye,
+				detector:   cleanDetector(core.Config{}),
+			}},
+		}
+		for _, row := range rows {
+			reg := telemetry.NewRegistry()
+			row.cfg.metrics = reg
+			res := runWorkload(wl, scale, workloads.Modified, row.cfg)
+			if res.err != nil {
+				return fmt.Errorf("perf: %s/%s: %v", wl.Name, row.label, res.err)
+			}
+			rep := buildRunReport(wl, scale, workloads.Modified, row.detector,
+				row.cfg.seed, row.cfg.detSync, res, reg)
+			rep.Variant = row.label
+			bench.Runs = append(bench.Runs, rep)
+
+			perK := rep.Gauge("machine.shared_per_1k_ops")
+			tb.AddRow(wl.Name, row.label, perK,
+				rep.Counter("machine.ops"), rep.Counter("machine.sync_ops"),
+				rep.Counter("kendo.wait_ops"), rep.Outcome)
+			if row.label == "base" {
+				freqs = append(freqs, perK)
+				bench.AddSummary("perf.shared_per_1k_ops."+wl.Name, perK)
+			}
+		}
+	}
+	bench.AddSummary("perf.shared_per_1k_ops.mean", stats.Mean(freqs))
+	bench.SortRuns()
+
+	if _, err := fmt.Fprint(w, tb.String()); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nmean shared accesses per 1000 ops (base): %.1f\n", stats.Mean(freqs))
+	if o.JSONDir != "" {
+		path, err := bench.WriteFile(o.JSONDir)
+		if err != nil {
+			return fmt.Errorf("perf: writing bench file: %w", err)
+		}
+		fmt.Fprintf(w, "wrote %s (%d runs)\n", path, len(bench.Runs))
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"errors"
+
+	"repro/internal/machine"
+	"repro/internal/telemetry"
+	"repro/internal/workloads"
+)
+
+// classifyOutcome maps a machine.Run error to the RunReport outcome
+// vocabulary shared with the resilience experiment.
+func classifyOutcome(err error) string {
+	var race *machine.RaceError
+	var dead *machine.DeadlockError
+	var live *machine.LivelockError
+	var merr *machine.MachineError
+	switch {
+	case err == nil:
+		return "completed"
+	case errors.As(err, &race):
+		return "race-exception"
+	case errors.As(err, &dead):
+		return "deadlock"
+	case errors.As(err, &live):
+		return "livelock"
+	case errors.As(err, &merr):
+		return "contained-crash"
+	}
+	return "error"
+}
+
+// buildRunReport assembles the machine-readable record of one harness run:
+// identity, outcome, and the registry snapshot (which already carries the
+// machine.*, core.*, kendo.* counters the run produced).
+func buildRunReport(wl workloads.Workload, scale workloads.Scale, variant workloads.Variant,
+	detector string, seed int64, detSync bool, res runResult, reg *telemetry.Registry) telemetry.RunReport {
+	rep := telemetry.NewRunReport()
+	rep.Workload = wl.Name
+	rep.Scale = scale.String()
+	rep.Variant = variant.String()
+	rep.Detector = detector
+	rep.Seed = seed
+	rep.DetSync = detSync
+	rep.Outcome = classifyOutcome(res.err)
+	if res.err != nil {
+		rep.Error = res.err.Error()
+	} else {
+		rep.OutputHash = telemetry.FormatHash(res.hash)
+	}
+	rep.ElapsedSeconds = res.elapsed.Seconds()
+	rep.Metrics = reg.Snapshot()
+	return *rep
+}

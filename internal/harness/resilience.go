@@ -12,6 +12,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/vclock"
 	"repro/internal/workloads"
 )
@@ -31,6 +32,9 @@ type faultReport struct {
 	Counters    []uint64
 	Fired       []string
 	Uncontained string // non-empty when a panic escaped machine.Run
+	// Metrics is the run's telemetry snapshot, serialized into the
+	// violation artifact's RunReport. Excluded from Fingerprint.
+	Metrics telemetry.Snapshot
 }
 
 // Outcome classifies a fault-injected run for the resilience table.
@@ -104,6 +108,7 @@ func runFaultOnce(wl workloads.Workload, scale workloads.Scale, variant workload
 	inj := faults.New(plan)
 	det := core.New(core.Config{Layout: layout})
 	inj.BindShadow(det.Epochs())
+	reg := telemetry.NewRegistry()
 	m := machine.New(machine.Config{
 		Seed:       seed,
 		DetSync:    true,
@@ -112,6 +117,7 @@ func runFaultOnce(wl workloads.Workload, scale workloads.Scale, variant workload
 		YieldEvery: yieldEvery,
 		MaxSteps:   maxSteps,
 		Injector:   inj,
+		Metrics:    reg,
 	})
 	root, out := wl.Build(m, scale, variant)
 	err := m.Run(root)
@@ -120,6 +126,8 @@ func runFaultOnce(wl workloads.Workload, scale workloads.Scale, variant workload
 	rep.DetStats = det.Stats()
 	rep.Counters = m.FinalCounters()
 	rep.Fired = inj.Fired()
+	det.Stats().PublishTo(reg)
+	rep.Metrics = reg.Snapshot()
 	if err == nil {
 		rep.Hash = m.HashMem(out.Addr, out.Len)
 	}
@@ -243,20 +251,36 @@ func yesNo(b bool) string {
 	return "no"
 }
 
-// writeFaultArtifact saves a diagnostic dump for a violated cell so CI can
-// upload it.
+// writeFaultArtifact saves a diagnostic dump plus a machine-readable
+// RunReport for a violated cell so CI can upload both.
 func writeFaultArtifact(dir, cell string, plan faults.Plan, rep, replay faultReport) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return
 	}
-	name := strings.ReplaceAll(cell, "/", "-") + ".txt"
+	base := strings.ReplaceAll(cell, "/", "-")
 	var b strings.Builder
 	fmt.Fprintf(&b, "cell: %s\nplan: %s (seed %d)\n\nrun:    %s\nreplay: %s\n",
 		cell, plan, plan.Seed, rep.Fingerprint(), replay.Fingerprint())
 	if d := rep.Dump(); d != nil {
 		fmt.Fprintf(&b, "\ndiagnostic dump:\n%s", d)
 	}
-	_ = os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644)
+	_ = os.WriteFile(filepath.Join(dir, base+".txt"), []byte(b.String()), 0o644)
+
+	jrep := telemetry.NewRunReport()
+	jrep.Workload = cell
+	jrep.Detector = "clean"
+	jrep.Seed = plan.Seed
+	jrep.DetSync = true
+	jrep.Outcome = rep.Outcome()
+	if rep.Err != nil {
+		jrep.Error = rep.Err.Error()
+	} else {
+		jrep.OutputHash = telemetry.FormatHash(rep.Hash)
+	}
+	jrep.Metrics = rep.Metrics
+	if data, err := jrep.Encode(); err == nil {
+		_ = os.WriteFile(filepath.Join(dir, base+".report.json"), data, 0o644)
+	}
 }
 
 // RunFault is the cmd/cleanrun -faults entry point: calibrate, build a

@@ -24,6 +24,7 @@ package hwsim
 
 import (
 	"repro/internal/shadow"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vclock"
 )
@@ -174,6 +175,41 @@ func (r Result) ClassFraction(c Class) float64 {
 		return 0
 	}
 	return float64(r.Classes[c]) / float64(r.TotalAccesses)
+}
+
+// PublishTo records the simulation's counters into reg under the hwsim.*
+// namespace: cycle totals, the Fig. 10 class breakdown (counters plus
+// fraction gauges), compact/expanded line traffic, and the cache-hierarchy
+// stats whose pressure effects §6.3 discusses. Nil reg is a no-op.
+func (r Result) PublishTo(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("hwsim.cycles").Add(r.Cycles)
+	reg.Counter("hwsim.total_cycles").Add(r.TotalCycles)
+	reg.Counter("hwsim.shared_accesses").Add(r.SharedAccesses)
+	reg.Counter("hwsim.total_accesses").Add(r.TotalAccesses)
+	reg.Counter("hwsim.compact_accesses").Add(r.CompactAccesses)
+	reg.Counter("hwsim.expanded_accesses").Add(r.ExpandedAccesses)
+	reg.Counter("hwsim.expansions").Add(r.Expansions)
+	for c := Class(0); c < NumClasses; c++ {
+		name := classSlugs[c]
+		reg.Counter("hwsim.class." + name).Add(r.Classes[c])
+		reg.Gauge("hwsim.class_fraction." + name).Set(r.ClassFraction(c))
+	}
+	h := r.Hier
+	reg.Counter("hwsim.l1_hits").Add(h.L1Hits)
+	reg.Counter("hwsim.l2_local_hits").Add(h.L2LocalHits)
+	reg.Counter("hwsim.l2_remote_hits").Add(h.L2RemoteHits)
+	reg.Counter("hwsim.l3_hits").Add(h.L3Hits)
+	reg.Counter("hwsim.mem_accesses").Add(h.MemAccesses)
+	reg.Counter("hwsim.invalidations").Add(h.Invalidations)
+	reg.Gauge("hwsim.llc_miss_rate").Set(h.LLCMissRate())
+}
+
+// classSlugs are metric-name-safe forms of the Class names.
+var classSlugs = [NumClasses]string{
+	"private", "fast", "update", "vc_load", "vc_load_update", "expand",
 }
 
 // simulator carries the per-run state.

@@ -62,6 +62,52 @@ func WaitForTurn(rt Runtime, tid int) {
 	}
 }
 
+// WaitObserver receives the lifecycle of one deterministic-turn wait. The
+// telemetry layer implements it to attribute Kendo wait time — the cost
+// the paper's §6.1 deterministic-synchronization bars measure — to
+// individual threads and waits.
+type WaitObserver interface {
+	// WaitBegin fires before the first yield of a wait that did not pass
+	// immediately; an immediate pass produces no callbacks at all, so the
+	// common uncontended case costs nothing.
+	WaitBegin(tid int)
+	// WaitEnd fires when the turn is finally held, with the number of
+	// yields the wait consumed.
+	WaitEnd(tid int, yields uint64)
+}
+
+// WaitForTurnObserved is WaitForTurn with wait-lifecycle callbacks. A nil
+// observer degrades to plain WaitForTurn.
+func WaitForTurnObserved(rt Runtime, tid int, obs WaitObserver) {
+	if obs == nil {
+		WaitForTurn(rt, tid)
+		return
+	}
+	if IsTurn(rt, tid) {
+		return
+	}
+	obs.WaitBegin(tid)
+	var yields uint64
+	for !IsTurn(rt, tid) {
+		yields++
+		rt.Yield()
+	}
+	obs.WaitEnd(tid, yields)
+}
+
+// QueueDepth returns the number of participating threads that do not
+// currently hold the turn — the depth of the deterministic-wait queue the
+// telemetry layer samples at scheduling points.
+func QueueDepth(rt Runtime) int {
+	depth := 0
+	for _, tid := range rt.Threads() {
+		if rt.Participating(tid) && !IsTurn(rt, tid) {
+			depth++
+		}
+	}
+	return depth
+}
+
 // WakeCounter returns the deterministic counter a thread resumes with after
 // being woken from a blocking wait (condition wait, join, barrier). The
 // woken thread must be ordered after the waking event, so it resumes just

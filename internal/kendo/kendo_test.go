@@ -149,6 +149,67 @@ func TestWakeCounter(t *testing.T) {
 	}
 }
 
+// waitRecorder records WaitObserver callbacks.
+type waitRecorder struct {
+	begins int
+	ends   int
+	yields uint64
+}
+
+func (w *waitRecorder) WaitBegin(tid int)              { w.begins++ }
+func (w *waitRecorder) WaitEnd(tid int, yields uint64) { w.ends++; w.yields = yields }
+
+func TestWaitForTurnObservedImmediatePassIsSilent(t *testing.T) {
+	rt := &fakeRT{counters: []uint64{1, 5}, parts: allTrue(2)}
+	rec := &waitRecorder{}
+	WaitForTurnObserved(rt, 0, rec)
+	if rec.begins != 0 || rec.ends != 0 {
+		t.Fatalf("immediate pass produced callbacks: %+v", rec)
+	}
+	if rt.yields != 0 {
+		t.Fatalf("immediate pass yielded %d times", rt.yields)
+	}
+}
+
+func TestWaitForTurnObservedCountsYields(t *testing.T) {
+	rt := &fakeRT{counters: []uint64{5, 1}, parts: allTrue(2)}
+	// Thread 1 advances on each yield; thread 0 gets the turn once
+	// 1's counter passes 5.
+	y := &yieldingRT{fakeRT: rt, onYield: func() { rt.counters[1] += 2 }}
+	rec := &waitRecorder{}
+	WaitForTurnObserved(y, 0, rec)
+	if rec.begins != 1 || rec.ends != 1 {
+		t.Fatalf("callbacks = %+v, want one begin and one end", rec)
+	}
+	if rec.yields == 0 {
+		t.Fatal("contended wait reported zero yields")
+	}
+	if !IsTurn(rt, 0) {
+		t.Fatal("wait returned without the turn")
+	}
+}
+
+func TestWaitForTurnObservedNilObserver(t *testing.T) {
+	rt := &fakeRT{counters: []uint64{5, 1}, parts: allTrue(2)}
+	y := &yieldingRT{fakeRT: rt, onYield: func() { rt.counters[1] += 2 }}
+	WaitForTurnObserved(y, 0, nil) // must not panic, must still wait
+	if !IsTurn(rt, 0) {
+		t.Fatal("nil-observer wait returned without the turn")
+	}
+}
+
+func TestQueueDepth(t *testing.T) {
+	rt := &fakeRT{counters: []uint64{3, 1, 2, 9}, parts: []bool{true, true, true, false}}
+	// Thread 1 holds the turn; 0 and 2 wait; 3 is suspended.
+	if got := QueueDepth(rt); got != 2 {
+		t.Fatalf("QueueDepth = %d, want 2", got)
+	}
+	rt.parts = []bool{false, true, false, false}
+	if got := QueueDepth(rt); got != 0 {
+		t.Fatalf("sole participant QueueDepth = %d, want 0", got)
+	}
+}
+
 // Property: the woken thread is strictly ordered after both its own past
 // and the waking event.
 func TestWakeCounterOrderingProperty(t *testing.T) {

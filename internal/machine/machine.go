@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/kendo"
 	"repro/internal/memory"
+	"repro/internal/telemetry"
 	"repro/internal/vclock"
 )
 
@@ -114,6 +115,16 @@ type Config struct {
 	// metadata corruption). internal/faults provides the standard
 	// implementation.
 	Injector Injector
+	// Metrics, if non-nil, receives the machine's counters: the Fig. 7 /
+	// Fig. 10 access-classification counts live on the hot path, scalar
+	// totals when the run ends, and the Kendo wait breakdown. Nil disables
+	// metrics at the cost of one nil check per instrumented site.
+	Metrics *telemetry.Registry
+	// Timeline, if non-nil, records the run as one track per thread — SFR
+	// spans, lock hold/contend spans, Kendo wait spans, race and fault
+	// instants — timestamped with the deterministic event count, so the
+	// rendered trace is byte-identical for a fixed (seed, workload).
+	Timeline *telemetry.Timeline
 }
 
 // Injector is the deterministic fault-injection hook. Every method is
@@ -192,6 +203,8 @@ type Machine struct {
 
 	stats         Stats
 	finalCounters map[int]uint64 // final det counter per spawn sequence number
+
+	tel *machineTel // nil when telemetry is disabled
 }
 
 // New returns a machine ready to Run. An invalid configuration does not
@@ -207,7 +220,7 @@ func New(cfg Config) *Machine {
 	if cfg.YieldEvery < 1 {
 		cfg.YieldEvery = 1
 	}
-	return &Machine{
+	m := &Machine{
 		cfg:           cfg,
 		layout:        cfg.Layout,
 		mem:           memory.New(),
@@ -216,6 +229,8 @@ func New(cfg Config) *Machine {
 		finalCounters: make(map[int]uint64),
 		initErr:       initErr,
 	}
+	m.tel = newMachineTel(m, cfg)
+	return m
 }
 
 // Layout returns the epoch layout the machine was configured with.
@@ -285,6 +300,7 @@ func (m *Machine) Run(root func(*Thread)) (err error) {
 			err = &MachineError{Kind: ErrScheduler, TID: -1, Op: "schedule",
 				Msg: fmt.Sprint(r), PanicValue: r, Dump: m.dump()}
 		}
+		m.publish()
 	}()
 	t0, terr := m.newThread(root)
 	if terr != nil {
@@ -345,6 +361,9 @@ func (m *Machine) Run(root func(*Thread)) (err error) {
 func (m *Machine) pick() (*Thread, bool) {
 	m.wakeDetWaiters()
 	m.injectSpuriousWakes()
+	if tel := m.tel; tel != nil && m.cfg.DetSync {
+		tel.kendoQueueDepth.Observe(float64(kendo.QueueDepth(kendoRT{m: m})))
+	}
 	inj := m.cfg.Injector
 	var runnable []*Thread
 	stalled := false
@@ -396,6 +415,9 @@ func (m *Machine) injectSpuriousWakes() {
 		t.spurious = true
 		t.state = stateRunnable
 		m.stats.SpuriousWakes++
+		if tel := m.tel; tel != nil {
+			tel.tl.Instant(t.ID, "spurious wake", "fault", m.now())
+		}
 	}
 }
 
@@ -473,6 +495,9 @@ func (m *Machine) performReset() {
 		b.vc.Reset()
 	}
 	m.stats.Rollovers++
+	if tel := m.tel; tel != nil {
+		tel.tl.Instant(0, "rollover reset", "machine", m.now())
+	}
 	m.resetPending = false
 	for _, t := range m.threads {
 		if t == nil || t.state == stateFinished {
@@ -542,12 +567,13 @@ func (m *Machine) newThread(fn func(*Thread)) (*Thread, error) {
 			Dump: m.dump()}
 	}
 	t := &Thread{
-		ID:     tid,
-		Seq:    m.liveID,
-		m:      m,
-		fn:     fn,
-		resume: make(chan struct{}),
-		state:  stateNew,
+		ID:       tid,
+		Seq:      m.liveID,
+		m:        m,
+		fn:       fn,
+		resume:   make(chan struct{}),
+		state:    stateNew,
+		sfrStart: m.stats.Ops, // the first SFR begins at spawn time
 	}
 	m.liveID++
 	for len(m.threads) <= tid {
@@ -575,11 +601,15 @@ func (m *Machine) startGoroutine(t *Thread) {
 				// Injected thread death: the machine survives it.
 				t.crashed = true
 				m.stats.Crashes++
+				if tel := m.tel; tel != nil {
+					tel.tl.Instant(t.ID, "crash", "fault", m.now())
+				}
 			default:
 				m.stop(&MachineError{Kind: ErrPanic, TID: t.ID, Op: "run",
 					Msg: fmt.Sprintf("thread %d panicked: %v", t.ID, r), PanicValue: r, Dump: m.dump()})
 			}
 			m.reapLocks(t)
+			t.endSFR("SFR")
 			t.state = stateFinished
 			m.finalCounters[t.Seq] = t.DetCounter
 			for _, j := range t.joiners {

@@ -24,6 +24,10 @@ type Mutex struct {
 	orphaned      bool
 	deadHolderID  int
 	deadHolderSeq int
+
+	// holdStart is the logical acquisition time of the current holder,
+	// for timeline lock-held spans.
+	holdStart uint64
 }
 
 // NewMutex creates a mutex on machine m.
@@ -120,7 +124,7 @@ func (t *Thread) syncEnter() {
 		t.park()
 	}
 	if t.m.cfg.DetSync {
-		kendo.WaitForTurn(kendoRT{m: t.m, t: t}, t.ID)
+		t.waitTurn()
 	}
 }
 
@@ -131,6 +135,10 @@ func (t *Thread) syncDone() {
 	t.m.stats.Ops++
 	t.m.stats.SyncOps++
 	t.SFRIndex++
+	if tel := t.m.tel; tel != nil {
+		tel.syncOps.Inc()
+		t.endSFR("SFR")
+	}
 }
 
 // Lock acquires l, blocking (nondeterministic mode) or deterministically
@@ -142,19 +150,23 @@ func (t *Thread) Lock(l *Mutex) {
 		t.fail(ErrMisuse, "lock", "mutex %d used on wrong machine", l.id)
 	}
 	t.syncEnter()
+	t.contendStart = m.now()
+	contended := false
 	if m.cfg.DetSync {
 		// Kendo: the lock state is observed only while holding the
 		// turn, so the acquire order is deterministic. A failed
 		// attempt deterministically advances the counter and retries.
 		for l.holder != nil {
+			contended = true
 			t.checkOrphan(l)
 			t.DetCounter++
 			m.stats.Ops++
 			kendoRT{m: m, t: t}.Yield()
-			kendo.WaitForTurn(kendoRT{m: m, t: t}, t.ID)
+			t.waitTurn()
 		}
 	} else {
 		for l.holder != nil {
+			contended = true
 			t.checkOrphan(l)
 			l.waiters = append(l.waiters, t)
 			t.block("mutex " + fmt.Sprint(l.id))
@@ -162,6 +174,10 @@ func (t *Thread) Lock(l *Mutex) {
 	}
 	t.checkOrphan(l)
 	l.holder = t
+	l.holdStart = m.now()
+	if tel := m.tel; tel != nil && contended {
+		tel.tl.Span(t.ID, "lock contend", "lock", t.contendStart, l.holdStart)
+	}
 	t.held = append(t.held, l)
 	t.VC.Join(l.vc)
 	t.syncDone()
@@ -197,6 +213,9 @@ func (t *Thread) unlockLocked(l *Mutex) {
 	}
 	l.vc = t.VC.Copy()
 	t.m.tickClock(t)
+	if tel := t.m.tel; tel != nil {
+		tel.tl.Span(t.ID, "lock held", "lock", l.holdStart, t.m.now())
+	}
 	l.holder = nil
 	for i, h := range t.held {
 		if h == l {
@@ -383,7 +402,7 @@ func (t *Thread) Join(child *Thread) {
 		// so the recycling lands at a deterministic place in the
 		// synchronization order.
 		t.DetCounter = kendo.WakeCounter(t.DetCounter, child.DetCounter)
-		kendo.WaitForTurn(kendoRT{m: m, t: t}, t.ID)
+		t.waitTurn()
 	}
 	// Recycle the id: the parent holds the child's final clock in its
 	// own vector, so a future thread reusing this id continues the

@@ -1,0 +1,158 @@
+package machine
+
+import (
+	"repro/internal/kendo"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// machineTel bundles the machine's telemetry state: handles pre-resolved
+// at machine construction so the hot path never does a name lookup, the
+// timeline, and per-thread span bookkeeping. A nil *machineTel is the
+// disabled state — instrumented sites guard with one nil check and the
+// whole layer costs nothing.
+type machineTel struct {
+	reg *telemetry.Registry
+	tl  *telemetry.Timeline
+
+	// Hot-path counters, incremented live on every instrumented access
+	// (the Fig. 7 / Fig. 10 quantities). The remaining machine.* counters
+	// are published once from Stats when the run ends — see publish.
+	sharedReads     *telemetry.Counter
+	sharedWrites    *telemetry.Counter
+	privateAccesses *telemetry.Counter
+	syncOps         *telemetry.Counter
+	raceExceptions  *telemetry.Counter
+
+	// Kendo wait attribution (§3.3 / §6.1): one wait_ops count and one
+	// wait_yields observation per contended turn wait, queue depth sampled
+	// at every scheduling decision.
+	kendoWaits      *telemetry.Counter
+	kendoWaitYields *telemetry.Histogram
+	kendoQueueDepth *telemetry.Histogram
+
+	// waitObs is the kendo.WaitObserver handed to WaitForTurnObserved,
+	// built once so the interface conversion never allocates per wait.
+	waitObs kendo.WaitObserver
+	// waitStart records, per tid, the logical start time of the wait in
+	// flight (several threads can be parked in waits simultaneously).
+	waitStart []uint64
+	// waitYieldsByTID holds per-thread yield counters (kendo.wait_yields.t<n>),
+	// resolved lazily once per tid.
+	waitYieldsByTID []*telemetry.Counter
+}
+
+// newMachineTel returns the telemetry state for cfg, or nil when both the
+// registry and the timeline are disabled.
+func newMachineTel(m *Machine, cfg Config) *machineTel {
+	if cfg.Metrics == nil && cfg.Timeline == nil {
+		return nil
+	}
+	reg := cfg.Metrics
+	tel := &machineTel{
+		reg:             reg,
+		tl:              cfg.Timeline,
+		sharedReads:     reg.Counter("machine.shared_reads"),
+		sharedWrites:    reg.Counter("machine.shared_writes"),
+		privateAccesses: reg.Counter("machine.private_accesses"),
+		syncOps:         reg.Counter("machine.sync_ops"),
+		raceExceptions:  reg.Counter("machine.race_exceptions"),
+		kendoWaits:      reg.Counter("kendo.wait_ops"),
+		kendoWaitYields: reg.Histogram("kendo.wait_yields", stats.ExpBuckets(1, 2, 12)...),
+		kendoQueueDepth: reg.Histogram("kendo.queue_depth", stats.ExpBuckets(1, 2, 6)...),
+	}
+	tel.waitObs = &kendoWaitObs{m: m}
+	return tel
+}
+
+// now is the timeline clock: the machine's global deterministic event
+// count, so traces are byte-identical for a fixed (seed, workload).
+func (m *Machine) now() uint64 { return m.stats.Ops }
+
+// publish copies the end-of-run machine counters from Stats into the
+// registry. The hot-path classification counters are maintained live; the
+// rest are scalar totals whose per-event emission would buy nothing.
+func (m *Machine) publish() {
+	tel := m.tel
+	if tel == nil || tel.reg == nil {
+		return
+	}
+	reg, s := tel.reg, m.stats
+	reg.Counter("machine.ops").Add(s.Ops)
+	reg.Counter("machine.steps").Add(s.Steps)
+	reg.Counter("machine.stalled_steps").Add(s.StalledSteps)
+	reg.Counter("machine.rollovers").Add(s.Rollovers)
+	reg.Counter("machine.crashes").Add(s.Crashes)
+	reg.Counter("machine.spurious_wakes").Add(s.SpuriousWakes)
+	reg.Counter("machine.det_wait_yields").Add(s.DetWaitYields)
+	for size, n := range s.AccessBySize {
+		if n > 0 {
+			reg.Counter("machine.shared_by_size." + itoa(size)).Add(n)
+		}
+	}
+	if s.Ops > 0 {
+		reg.Gauge("machine.shared_per_1k_ops").
+			Set(float64(s.SharedAccesses()) / float64(s.Ops) * 1000)
+	}
+}
+
+// itoa covers the single-digit access sizes without pulling strconv into
+// the signature of a hot-adjacent helper.
+func itoa(n int) string {
+	if n < 10 {
+		return string([]byte{'0' + byte(n)})
+	}
+	return itoa(n/10) + itoa(n%10)
+}
+
+// endSFR closes the thread's open synchronization-free region on the
+// timeline and opens the next one.
+func (t *Thread) endSFR(name string) {
+	tel := t.m.tel
+	if tel == nil || tel.tl == nil {
+		return
+	}
+	now := t.m.now()
+	tel.tl.Span(t.ID, name, "sfr", t.sfrStart, now)
+	t.sfrStart = now
+}
+
+// kendoWaitObs attributes deterministic-turn waits (kendo.WaitObserver):
+// contended waits produce one kendo.wait_ops count, one wait_yields
+// observation, a per-thread yield count, and a timeline span; immediate
+// passes cost nothing.
+type kendoWaitObs struct{ m *Machine }
+
+func (o *kendoWaitObs) WaitBegin(tid int) {
+	tel := o.m.tel
+	for len(tel.waitStart) <= tid {
+		tel.waitStart = append(tel.waitStart, 0)
+	}
+	tel.waitStart[tid] = o.m.now()
+}
+
+func (o *kendoWaitObs) WaitEnd(tid int, yields uint64) {
+	tel := o.m.tel
+	tel.kendoWaits.Inc()
+	tel.kendoWaitYields.Observe(float64(yields))
+	for len(tel.waitYieldsByTID) <= tid {
+		tel.waitYieldsByTID = append(tel.waitYieldsByTID, nil)
+	}
+	if tel.waitYieldsByTID[tid] == nil && tel.reg != nil {
+		tel.waitYieldsByTID[tid] = tel.reg.Counter("kendo.wait_yields.t" + itoa(tid))
+	}
+	tel.waitYieldsByTID[tid].Add(yields)
+	tel.tl.Span(tid, "kendo wait", "kendo", tel.waitStart[tid], o.m.now())
+}
+
+// waitTurn waits for the Kendo turn (§3.3), attributing the wait to
+// telemetry when enabled. The yield sequence is identical either way, so
+// enabling telemetry never changes the deterministic order.
+func (t *Thread) waitTurn() {
+	rt := kendoRT{m: t.m, t: t}
+	if tel := t.m.tel; tel != nil {
+		kendo.WaitForTurnObserved(rt, t.ID, tel.waitObs)
+		return
+	}
+	kendo.WaitForTurn(rt, t.ID)
+}

@@ -75,6 +75,12 @@ type Thread struct {
 	spurious bool
 	// crashed marks a thread that died to an injected fault.
 	crashed bool
+	// sfrStart is the logical start time of the thread's current
+	// synchronization-free region, for timeline spans.
+	sfrStart uint64
+	// contendStart is the logical time the thread started contending for a
+	// mutex, for timeline lock-contend spans.
+	contendStart uint64
 }
 
 // Machine returns the machine this thread runs on.
@@ -210,6 +216,13 @@ func (t *Thread) access(addr uint64, size int, write bool, v uint64) uint64 {
 		} else {
 			m.stats.SharedReads++
 		}
+		if tel := m.tel; tel != nil {
+			if write {
+				tel.sharedWrites.Inc()
+			} else {
+				tel.sharedReads.Inc()
+			}
+		}
 		if size < len(m.stats.AccessBySize) {
 			m.stats.AccessBySize[size]++
 		}
@@ -220,6 +233,9 @@ func (t *Thread) access(addr uint64, size int, write bool, v uint64) uint64 {
 		}
 	} else {
 		m.stats.PrivateAccesses++
+		if tel := m.tel; tel != nil {
+			tel.privateAccesses.Inc()
+		}
 	}
 	if m.cfg.Tracer != nil {
 		m.cfg.Tracer.Access(t.ID, addr, size, write, shared, t.VC.Clock(t.ID))
@@ -245,6 +261,10 @@ func (t *Thread) check(addr uint64, size int, write bool) {
 		return
 	}
 	if err := d.OnAccess(t, addr, size, write); err != nil {
+		if tel := t.m.tel; tel != nil {
+			tel.raceExceptions.Inc()
+			tel.tl.Instant(t.ID, "race exception", "race", t.m.now())
+		}
 		t.m.stop(err)
 		panic(stopToken)
 	}

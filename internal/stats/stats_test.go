@@ -89,6 +89,124 @@ func TestMeanBoundedProperty(t *testing.T) {
 	}
 }
 
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{-5, 15},  // clamped
+		{120, 50}, // clamped
+		{40, 29},  // interpolated: rank 1.6 → 20 + 0.6·(35-20)
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !almost(got, tt.want) {
+			t.Errorf("Percentile(%v, %v) = %v, want %v", xs, tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile of empty input must be 0")
+	}
+}
+
+func TestPercentileMatchesMedian(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		return almost(Percentile(clean, 50), Median(clean))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramCounting(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", h.Count())
+	}
+	want := []uint64{2, 1, 1, 2} // ≤1: {0.5, 1}; ≤10: {5}; ≤100: {50}; overflow: {500, 1000}
+	got := h.Counts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Counts = %v, want %v", got, want)
+		}
+	}
+	if h.Min() != 0.5 || h.Max() != 1000 {
+		t.Errorf("min/max = %v/%v, want 0.5/1000", h.Min(), h.Max())
+	}
+	if !almost(h.Sum(), 1556.5) || !almost(h.Mean(), 1556.5/6) {
+		t.Errorf("sum/mean = %v/%v", h.Sum(), h.Mean())
+	}
+}
+
+func TestHistogramPercentileBrackets(t *testing.T) {
+	// 1000 uniform values in (0, 1000] against decade buckets: the bucket
+	// estimate must stay within one bucket width of the exact percentile.
+	h := NewHistogram(ExpBuckets(1, 2, 12)...)
+	var xs []float64
+	for i := 1; i <= 1000; i++ {
+		v := float64(i)
+		h.Observe(v)
+		xs = append(xs, v)
+	}
+	for _, p := range []float64{50, 95, 99} {
+		exact := Percentile(xs, p)
+		est := h.Percentile(p)
+		if est < exact/2 || est > exact*2 {
+			t.Errorf("p%v estimate %v too far from exact %v", p, est, exact)
+		}
+	}
+	if h.Percentile(0) < h.Min() || h.Percentile(100) > h.Max() {
+		t.Error("percentile estimates escaped the observed range")
+	}
+}
+
+func TestHistogramEmptyAndSingle(t *testing.T) {
+	h := NewHistogram(1, 2)
+	if h.Percentile(50) != 0 || h.Count() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(1.5)
+	for _, p := range []float64{0, 50, 100} {
+		if got := h.Percentile(p); !almost(got, 1.5) {
+			t.Errorf("single-value p%v = %v, want 1.5", p, got)
+		}
+	}
+}
+
+func TestHistogramObserveDoesNotAllocate(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 10, 6)...)
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(42) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if !almost(got[i], want[i]) {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tb := NewTable("bench", "slowdown")
 	tb.AddRow("barnes", 1.5)
