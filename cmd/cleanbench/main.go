@@ -6,6 +6,7 @@
 //	cleanbench -exp fig9                # one experiment
 //	cleanbench -exp all -reps 10        # everything, paper-grade reps
 //	cleanbench -exp perf -json .        # machine-readable BENCH_perf.json
+//	cleanbench -exp all -parallel       # fan independent runs across cores
 //	cleanbench -exp fig6 -cpuprofile cpu.pb.gz  # profile the harness itself
 //	cleanbench -list                    # show available experiments
 package main
@@ -26,16 +27,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cleanbench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (see -list)")
-		scale   = flag.String("scale", "", "input scale override: test, simsmall, simlarge, native")
-		reps    = flag.Int("reps", 0, "repetitions per measurement (0 = per-experiment default)")
-		yieldEv = flag.Int("yield", 0, "machine scheduling granularity (0 = default 8)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		verbose = flag.Bool("v", false, "verbose output")
-		artDir  = flag.String("artifacts", "", "directory for diagnostic dumps of resilience violations")
-		jsonDir = flag.String("json", "", "directory for machine-readable BENCH_<experiment>.json results")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf = flag.String("memprofile", "", "write an allocation profile at exit to this file")
+		exp      = flag.String("exp", "all", "experiment to run (see -list)")
+		scale    = flag.String("scale", "", "input scale override: test, simsmall, simlarge, native")
+		reps     = flag.Int("reps", 0, "repetitions per measurement (0 = per-experiment default)")
+		yieldEv  = flag.Int("yield", 0, "machine scheduling granularity (0 = default 8)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		verbose  = flag.Bool("v", false, "verbose output")
+		artDir   = flag.String("artifacts", "", "directory for diagnostic dumps of resilience violations")
+		jsonDir  = flag.String("json", "", "directory for machine-readable BENCH_<experiment>.json results")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile at exit to this file")
+		parallel = flag.Bool("parallel", false, "fan independent runs across CPU cores (deterministic output is unchanged)")
+		workers  = flag.Int("workers", 0, "worker count for -parallel (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -78,6 +81,12 @@ func main() {
 	}
 
 	opts := harness.Options{Reps: *reps, YieldEvery: *yieldEv, Verbose: *verbose, ArtifactDir: *artDir, JSONDir: *jsonDir}
+	if *parallel {
+		opts.Parallel = *workers
+		if opts.Parallel <= 0 {
+			opts.Parallel = runtime.GOMAXPROCS(0)
+		}
+	}
 	if *scale != "" {
 		s, err := workloads.ParseScale(*scale)
 		if err != nil {

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// accessMachine builds a machine with det attached and a shared buffer,
+// plus a driver that performs n instrumented 8-byte stores (the detector's
+// multi-byte same-epoch fast path after the first touch of each slot).
+func accessMachine(det machine.Detector) (*machine.Machine, uint64) {
+	m := machine.New(machine.Config{YieldEvery: 64, Detector: det})
+	return m, m.AllocShared(4096, 64)
+}
+
+// TestHotPathZeroAllocs pins the whole instrumented access path — machine
+// step accounting, branch-free classification, the per-thread epoch cache,
+// and the detector's same-epoch check over the unsynchronized shadow fast
+// lane — at zero allocations per access. Machines are single-use, so each
+// measured run constructs a fresh machine; the construction cost is
+// cancelled by measuring a short and a long run over the same addresses
+// and requiring their allocation counts to match — any per-access
+// allocation would show up tens of thousands of times in the delta.
+func TestHotPathZeroAllocs(t *testing.T) {
+	const short, long = 1 << 10, 1 << 16
+	for _, tc := range []struct {
+		name string
+		det  func() machine.Detector
+	}{
+		{"noDetect", func() machine.Detector { return nil }},
+		{"clean", func() machine.Detector { return New(Config{}) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(accesses int) float64 {
+				return testing.AllocsPerRun(10, func() {
+					m, a := accessMachine(tc.det())
+					err := m.Run(func(th *machine.Thread) {
+						for i := 0; i < accesses; i++ {
+							th.StoreU64(a+uint64(i%512)*8, uint64(i))
+						}
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			base, big := run(short), run(long)
+			if delta := big - base; delta > 1 {
+				t.Fatalf("%s: %.0f extra allocs for %d extra accesses — access path allocates (%.0f vs %.0f)",
+					tc.name, delta, long-short, big, base)
+			}
+		})
+	}
+}
+
+// BenchmarkOnAccess times the detector check in isolation — the Fig. 2
+// comparison plus the §4.4 wide update — by driving OnAccess directly from
+// a thread captured out of a machine run. Same-epoch stores after the
+// first iteration: the steady state the paper's >99.7% figure makes the
+// common case.
+func BenchmarkOnAccess(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		size  int
+		write bool
+	}{
+		{"read8", 8, false},
+		{"write8", 8, true},
+		{"read1", 1, false},
+		{"write1", 1, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			det := New(Config{})
+			m, a := accessMachine(det)
+			b.ReportAllocs()
+			err := m.Run(func(t *machine.Thread) {
+				// Seed the epochs, then time the same-epoch steady state.
+				if err := det.OnAccess(t, a, tc.size, true); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := det.OnAccess(t, a, tc.size, tc.write); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkAccessPath times the full instrumented store through the
+// machine (classification + check + memory write), the per-operation cost
+// behind every §6 slowdown figure.
+func BenchmarkAccessPath(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		det  func() machine.Detector
+	}{
+		{"noDetect", func() machine.Detector { return nil }},
+		{"clean", func() machine.Detector { return New(Config{}) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			m, a := accessMachine(tc.det())
+			b.ReportAllocs()
+			b.ResetTimer()
+			err := m.Run(func(t *machine.Thread) {
+				for i := 0; i < b.N; i++ {
+					t.StoreU64(a+uint64(i%512)*8, uint64(i))
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -160,11 +160,13 @@ func (d *Detector) Reset() { d.epochs.Reset() }
 // the accessed bytes.
 func (d *Detector) OnAccess(t *machine.Thread, addr uint64, size int, write bool) error {
 	d.stats.Accesses++
-	cur := t.VC.Epoch(d.layout, t.ID)
+	// EPOCH(t) comes from the machine's per-thread cache (one field load)
+	// rather than re-packing the vector clock on every access.
+	cur := t.Epoch()
 	if d.multibyte && size > 1 {
 		d.stats.MultibyteAccesses++
-		e, allEqual := d.epochs.LoadAllEqual(addr, size)
-		d.stats.EpochLoads += uint64(size)
+		e, allEqual, loads := d.epochs.LoadAllEqual(addr, size)
+		d.stats.EpochLoads += uint64(loads)
 		if allEqual {
 			if e != 0 && !t.Machine().EpochSane(e) {
 				// Corrupted metadata: degrade to a monitor-mode

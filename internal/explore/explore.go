@@ -43,6 +43,14 @@ type Options struct {
 	// Only RunProgram honors it — Run explores opaque builders the
 	// analyzer cannot see.
 	Prune bool
+	// Parallel is the number of worker goroutines exploring the decision
+	// tree concurrently; 0 or 1 keeps the sequential DFS. Interleavings
+	// are independent replays from the initial state, so an exhaustive
+	// search visits exactly the same set of prefixes in any worker order
+	// and the Result is identical to the sequential search's. inspect
+	// callbacks run serialized under the search lock, but their order is
+	// scheduling-dependent — aggregate commutatively.
+	Parallel int
 }
 
 // Result summarizes an exploration.
@@ -95,6 +103,9 @@ func (p *replayPicker) pick(runnable []*machine.Thread) int {
 func Run(opts Options, build Builder, inspect func(m *machine.Machine, err error)) Result {
 	if opts.MaxRuns <= 0 {
 		opts.MaxRuns = 10000
+	}
+	if opts.Parallel > 1 {
+		return runParallel(opts, build, inspect)
 	}
 	res := Result{Exceptions: make(map[machine.RaceKind]int)}
 

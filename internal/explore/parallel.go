@@ -1,0 +1,98 @@
+package explore
+
+import (
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// runParallel is the concurrent variant of Run's DFS: a shared frontier
+// stack of unexplored choice prefixes, drained by opts.Parallel workers.
+// Each interleaving is an independent replay from the initial state on a
+// fresh machine, so workers share nothing but the frontier and the
+// aggregate counts, both guarded by one mutex; the machines themselves
+// run in their single-threaded cooperative mode, untouched.
+//
+// An exhaustive search executes exactly the set of prefixes the
+// sequential DFS does — each executed prefix pushes the same siblings
+// regardless of when it runs — and Result's counts are order-independent
+// sums, so the Result is identical to the sequential one. A truncated
+// search still executes exactly MaxRuns interleavings, but which ones
+// depends on worker scheduling.
+func runParallel(opts Options, build Builder, inspect func(m *machine.Machine, err error)) Result {
+	res := Result{Exceptions: make(map[machine.RaceKind]int)}
+
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	frontier := [][]int{nil}
+	// started counts claimed prefixes (enforcing MaxRuns before execution,
+	// as the sequential loop does); active counts in-flight executions,
+	// whose sibling pushes may yet refill an empty frontier.
+	started, active := 0, 0
+
+	worker := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for {
+			for len(frontier) == 0 && active > 0 && started < opts.MaxRuns {
+				cond.Wait()
+			}
+			if len(frontier) == 0 || started >= opts.MaxRuns {
+				cond.Broadcast()
+				return
+			}
+			prefix := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			started++
+			active++
+			mu.Unlock()
+
+			picker := &replayPicker{prefix: prefix}
+			var det machine.Detector
+			if opts.Detector != nil {
+				det = opts.Detector()
+			}
+			m := machine.New(machine.Config{
+				Detector: det,
+				DetSync:  opts.DetSync,
+				Picker:   picker.pick,
+			})
+			root := build(m)
+			err := m.Run(root)
+
+			mu.Lock()
+			res.Runs++
+			classify(&res, err)
+			if inspect != nil {
+				inspect(m, err)
+			}
+			for step := len(picker.degrees) - 1; step >= len(prefix); step-- {
+				for alt := 1; alt < picker.degrees[step]; alt++ {
+					branch := make([]int, step+1)
+					copy(branch, prefix)
+					branch[step] = alt
+					frontier = append(frontier, branch)
+				}
+			}
+			active--
+			cond.Broadcast()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Parallel; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	wg.Wait()
+
+	// Prefixes left unexplored after the run budget means the search was
+	// cut short — the same condition the sequential loop flags.
+	if len(frontier) > 0 {
+		res.Truncated = true
+	}
+	return res
+}

@@ -1,0 +1,70 @@
+package explore
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// resultEq compares Results including the exception map.
+func resultEq(a, b Result) bool { return reflect.DeepEqual(a, b) }
+
+// TestParallelMatchesSequentialExhaustive: an exhaustive parallel search
+// visits exactly the interleaving set the sequential DFS does, so the two
+// Results must be identical — for a racy litmus (every schedule excepts)
+// and a timing-dependent one (mixed outcomes).
+func TestParallelMatchesSequentialExhaustive(t *testing.T) {
+	for _, name := range []string{"waw", "raw-war"} {
+		p := litmus(t, name)
+		seq := RunProgram(Options{Detector: cleanDet}, p, nil)
+		if !seq.Exhaustive() {
+			t.Fatalf("%s: sequential search truncated at %d runs", name, seq.Runs)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			par := RunProgram(Options{Detector: cleanDet, Parallel: workers}, p, nil)
+			if !resultEq(seq, par) {
+				t.Fatalf("%s with %d workers: parallel result %+v != sequential %+v",
+					name, workers, par, seq)
+			}
+		}
+	}
+}
+
+// TestParallelTruncation: a parallel search cut off by MaxRuns executes
+// exactly MaxRuns interleavings and reports the truncation, like the
+// sequential loop (which interleavings ran is scheduling-dependent).
+func TestParallelTruncation(t *testing.T) {
+	p := litmus(t, "waw")
+	full := RunProgram(Options{Detector: cleanDet}, p, nil)
+	if full.Runs < 4 {
+		t.Skipf("waw space too small (%d runs) to truncate meaningfully", full.Runs)
+	}
+	res := RunProgram(Options{Detector: cleanDet, Parallel: 4, MaxRuns: full.Runs - 1}, p, nil)
+	if !res.Truncated {
+		t.Fatalf("search of %d/%d interleavings not marked truncated: %+v",
+			res.Runs, full.Runs, res)
+	}
+	if res.Runs != full.Runs-1 {
+		t.Fatalf("truncated search ran %d interleavings, want exactly MaxRuns=%d",
+			res.Runs, full.Runs-1)
+	}
+}
+
+// TestParallelInspectSerialized: inspect callbacks run under the search
+// lock — never two at once — and exactly once per executed interleaving.
+func TestParallelInspectSerialized(t *testing.T) {
+	var inFlight, calls atomic.Int64
+	res := RunProgram(Options{Detector: cleanDet, Parallel: 8}, litmus(t, "raw-war"),
+		func(m *machine.Machine, err error) {
+			if n := inFlight.Add(1); n != 1 {
+				t.Errorf("%d inspect callbacks in flight", n)
+			}
+			calls.Add(1)
+			inFlight.Add(-1)
+		})
+	if got := calls.Load(); got != int64(res.Runs) {
+		t.Fatalf("inspect called %d times for %d runs", got, res.Runs)
+	}
+}

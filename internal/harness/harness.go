@@ -43,6 +43,13 @@ type Options struct {
 	// (telemetry.BenchFile); CI uploads them as the performance
 	// trajectory.
 	JSONDir string
+	// Parallel is the number of worker goroutines used to fan the
+	// experiments' independent runs (repetitions, workloads, detector
+	// configurations) across cores; 0 or 1 keeps the sequential loops.
+	// Results are slotted by index and aggregated in sequential order, so
+	// all deterministic output (counters, hashes, outcomes, tables) is
+	// byte-identical to a sequential run.
+	Parallel int
 }
 
 func (o Options) reps(def int) int {
@@ -64,6 +71,13 @@ func (o Options) yieldEvery() int {
 		return o.YieldEvery
 	}
 	return 32
+}
+
+func (o Options) workers() int {
+	if o.Parallel > 1 {
+		return o.Parallel
+	}
+	return 1
 }
 
 // runCfg describes one software configuration of the machine.
@@ -141,12 +155,15 @@ func cleanDetector(cfg core.Config) func() machine.Detector {
 	return func() machine.Detector { return core.New(cfg) }
 }
 
-// meanSeconds runs fn reps times and returns the mean and 95% CI of the
-// elapsed seconds.
-func meanSeconds(reps int, fn func(rep int) time.Duration) (mean, ci float64) {
+// meanSeconds runs fn for reps repetitions — fanned across workers
+// goroutines when workers > 1 — and returns the mean and 95% CI of the
+// elapsed seconds. fn must be safe to call concurrently (harness run
+// closures are: each builds a fresh machine).
+func meanSeconds(workers, reps int, fn func(rep int) time.Duration) (mean, ci float64) {
+	ds := forEachIndexed(workers, reps, fn)
 	xs := make([]float64, 0, reps)
-	for i := 0; i < reps; i++ {
-		xs = append(xs, fn(i).Seconds())
+	for _, d := range ds {
+		xs = append(xs, d.Seconds())
 	}
 	return stats.Mean(xs), stats.CI95(xs)
 }
@@ -205,6 +222,7 @@ func Experiments() []struct {
 		{"fig10", "Fig. 10: breakdown of memory accesses", Fig10},
 		{"fig11", "Fig. 11: 1-byte and 4-byte epoch alternatives", Fig11},
 		{"perf", "telemetry: per-run metrics reports, Fig. 7 frequencies in BENCH_perf.json", Perf},
+		{"hotpath", "ns/op + allocs/op of the shadow fast lane and per-access check, BENCH_hotpath.json", Hotpath},
 		{"ablation", "§7 claim: CLEAN vs FastTrack vs TSan-lite software detectors", Ablation},
 		{"static", "static verdicts vs CLEAN/FastTrack/oracle on fuzzed programs", Static},
 		{"resilience", "fault-injection matrix: graceful degradation + deterministic replay of failures", Resilience},

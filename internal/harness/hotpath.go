@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/shadow"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/vclock"
+)
+
+// Hotpath measures the per-access cost of the detector fast path — the
+// quantity every §6 slowdown figure ultimately rests on — as a set of
+// steady-state micro-measurements: the shadow region's single-epoch and
+// vectorized (§4.4) operations on their unsynchronized fast lane, and the
+// machine's full instrumented access with and without CLEAN attached.
+//
+// With Options.JSONDir set the results land in BENCH_hotpath.json as
+// hotpath.<name>.ns_per_op / hotpath.<name>.allocs_per_op summary gauges,
+// comparable across commits; testdata/bench-baseline/ holds the snapshot
+// this PR measured, the floor future changes are diffed against. The
+// measurements are inherently wall-clock, so this experiment ignores
+// Options.Parallel and always runs sequentially on an idle pool.
+func Hotpath(w io.Writer, o Options) error {
+	epochA := vclock.DefaultLayout.Pack(1, 1)
+	epochB := vclock.DefaultLayout.Pack(2, 1)
+
+	marks := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"shadow.load", func(b *testing.B) {
+			r := shadow.New()
+			r.Store(64, epochA)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = r.Load(64)
+			}
+		}},
+		{"shadow.load_all_equal8", func(b *testing.B) {
+			r := shadow.New()
+			r.StoreRange(64, 8, epochA)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _, _ = r.LoadAllEqual(64, 8)
+			}
+		}},
+		{"shadow.cas", func(b *testing.B) {
+			r := shadow.New()
+			r.Store(64, epochA)
+			b.ReportAllocs()
+			b.ResetTimer()
+			old, new := epochA, epochB
+			for i := 0; i < b.N; i++ {
+				r.CompareAndSwap(64, old, new)
+				old, new = new, old
+			}
+		}},
+		{"shadow.cas_range8", func(b *testing.B) {
+			r := shadow.New()
+			r.StoreRange(64, 8, epochA)
+			b.ReportAllocs()
+			b.ResetTimer()
+			old, new := epochA, epochB
+			for i := 0; i < b.N; i++ {
+				r.CompareAndSwapRange(64, 8, old, new)
+				old, new = new, old
+			}
+		}},
+		{"machine.access", func(b *testing.B) {
+			benchMachineAccess(b, nil)
+		}},
+		{"machine.access_clean", func(b *testing.B) {
+			benchMachineAccess(b, core.New(core.Config{}))
+		}},
+	}
+
+	bench := telemetry.NewBenchFile("hotpath")
+	tb := stats.NewTable("path", "ns/op", "allocs/op")
+	for _, mk := range marks {
+		res := testing.Benchmark(mk.fn)
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		allocs := float64(res.AllocsPerOp())
+		tb.AddRow(mk.name, ns, allocs)
+		bench.AddSummary("hotpath."+mk.name+".ns_per_op", ns)
+		bench.AddSummary("hotpath."+mk.name+".allocs_per_op", allocs)
+	}
+
+	if _, err := fmt.Fprint(w, tb.String()); err != nil {
+		return err
+	}
+	if o.JSONDir != "" {
+		path, err := bench.WriteFile(o.JSONDir)
+		if err != nil {
+			return fmt.Errorf("hotpath: writing bench file: %w", err)
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+	}
+	return nil
+}
+
+// benchMachineAccess times the full instrumented 8-byte shared store —
+// step accounting, branch-free classification, and (with det non-nil) the
+// CLEAN check — amortizing machine construction over the b.N accesses.
+func benchMachineAccess(b *testing.B, det machine.Detector) {
+	m := machine.New(machine.Config{YieldEvery: 64, Detector: det})
+	a := m.AllocShared(4096, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := m.Run(func(t *machine.Thread) {
+		for i := 0; i < b.N; i++ {
+			t.StoreU64(a+uint64(i%512)*8, uint64(i))
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -23,13 +23,17 @@ func Detect(w io.Writer, o Options) error {
 			continue
 		}
 		var exceptions, waw, raw int
-		for rep := 0; rep < reps; rep++ {
-			r := runWorkload(wl, scale, workloads.Unmodified, runCfg{
+		// Each repetition is an independent run keyed by its seed: fan the
+		// reps across the worker pool and classify in rep order.
+		errs := forEachIndexed(o.workers(), reps, func(rep int) error {
+			return runWorkload(wl, scale, workloads.Unmodified, runCfg{
 				seed: int64(rep), detSync: true,
 				detector: cleanDetector(core.Config{}),
-			})
+			}).err
+		})
+		for rep, rerr := range errs {
 			var re *machine.RaceError
-			if errors.As(r.err, &re) {
+			if errors.As(rerr, &re) {
 				exceptions++
 				switch re.Kind {
 				case machine.WAW:
@@ -39,8 +43,8 @@ func Detect(w io.Writer, o Options) error {
 				default:
 					return fmt.Errorf("detect: %s: CLEAN reported %v", wl.Name, re.Kind)
 				}
-			} else if r.err != nil {
-				return fmt.Errorf("detect: %s rep %d: unexpected error: %v", wl.Name, rep, r.err)
+			} else if rerr != nil {
+				return fmt.Errorf("detect: %s rep %d: unexpected error: %v", wl.Name, rep, rerr)
 			}
 		}
 		tb.AddRow(wl.Name, reps, exceptions, waw, raw)
@@ -74,21 +78,33 @@ func Determinism(w io.Writer, o Options) error {
 		var ref fp
 		deterministic := true
 		exceptions := 0
-		for rep := 0; rep < reps; rep++ {
+		// Fan the independent repetitions out, then compare fingerprints
+		// in rep order against rep 0 exactly as the sequential loop did.
+		type repOut struct {
+			err error
+			cur fp
+		}
+		outs := forEachIndexed(o.workers(), reps, func(rep int) repOut {
 			r := runWorkload(wl, scale, workloads.Modified, runCfg{
 				seed: int64(rep), detSync: true,
 				detector: cleanDetector(core.Config{}),
 			})
 			if r.err != nil {
-				exceptions++
-				continue
+				return repOut{err: r.err}
 			}
-			cur := fp{
+			return repOut{cur: fp{
 				hash:     r.hash,
 				counters: fmt.Sprint(r.counters),
 				reads:    r.stats.SharedReads,
 				writes:   r.stats.SharedWrites,
+			}}
+		})
+		for rep, out := range outs {
+			if out.err != nil {
+				exceptions++
+				continue
 			}
+			cur := out.cur
 			if rep == 0 {
 				ref = cur
 			} else if cur != ref {

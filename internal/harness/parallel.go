@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the harness's parallel fan-out engine. Every experiment is
+// a collection of independent machine runs — repetitions, workloads,
+// detector configurations — whose results are aggregated afterwards. The
+// engine fans those runs across a bounded worker pool and returns the
+// results slotted by index, so aggregation happens in exactly the order
+// the sequential loop used and the printed tables come out byte-for-byte
+// identical. (Wall-clock cells still carry timing noise, parallel or not;
+// every counter, hash, outcome and frequency is deterministic.)
+//
+// The machine itself stays single-threaded per run — the cooperative
+// scheduler and the unsynchronized shadow fast lane depend on that — so
+// parallelism lives strictly at the between-runs layer, where runs share
+// no state at all.
+
+// forEachIndexed evaluates fn(0), …, fn(n-1) on at most workers
+// goroutines and returns the results in index order. workers <= 1
+// degrades to the plain sequential loop. A panic in any fn is re-raised
+// on the caller after the pool drains, mirroring the sequential behavior
+// closely enough for the harness's fatal-error style.
+func forEachIndexed[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return out
+}

@@ -23,45 +23,66 @@ func Perf(w io.Writer, o Options) error {
 	bench := telemetry.NewBenchFile("perf")
 	tb := stats.NewTable("benchmark", "variant", "shared/1k ops", "ops", "sync ops", "kendo waits", "outcome")
 
-	var freqs []float64
+	// Every (workload, variant) pair is one independent run: flatten them
+	// into a job list, fan the jobs across the worker pool, and aggregate
+	// in job order — the table and the (sorted) bench file come out
+	// byte-identical to a sequential run, except for the per-run
+	// ElapsedSeconds wall-clock field.
+	type job struct {
+		wl       workloads.Workload
+		label    string
+		detector string
+		cfg      runCfg
+	}
+	var jobs []job
 	for _, wl := range perfSuite() {
-		type cfgRow struct {
-			label    string
-			detector string
-			cfg      runCfg
-		}
-		rows := []cfgRow{
-			// The Fig. 7 configuration: no detector, nondeterministic
-			// scheduling, seed 0.
-			{label: "base", detector: "none", cfg: runCfg{yieldEvery: ye}},
-			// CLEAN + Kendo: the paper's full software system, for the
-			// detector and wait-time counters.
-			{label: "clean", detector: "clean", cfg: runCfg{
+		// The Fig. 7 configuration: no detector, nondeterministic
+		// scheduling, seed 0.
+		jobs = append(jobs, job{wl: wl, label: "base", detector: "none",
+			cfg: runCfg{yieldEvery: ye}})
+		// CLEAN + Kendo: the paper's full software system, for the
+		// detector and wait-time counters.
+		jobs = append(jobs, job{wl: wl, label: "clean", detector: "clean",
+			cfg: runCfg{
 				detSync:    true,
 				yieldEvery: ye,
 				detector:   cleanDetector(core.Config{}),
-			}},
+			}})
+	}
+	type jobOut struct {
+		res runResult
+		rep telemetry.RunReport
+	}
+	outs := forEachIndexed(o.workers(), len(jobs), func(i int) jobOut {
+		j := jobs[i]
+		reg := telemetry.NewRegistry()
+		j.cfg.metrics = reg
+		res := runWorkload(j.wl, scale, workloads.Modified, j.cfg)
+		if res.err != nil {
+			return jobOut{res: res}
 		}
-		for _, row := range rows {
-			reg := telemetry.NewRegistry()
-			row.cfg.metrics = reg
-			res := runWorkload(wl, scale, workloads.Modified, row.cfg)
-			if res.err != nil {
-				return fmt.Errorf("perf: %s/%s: %v", wl.Name, row.label, res.err)
-			}
-			rep := buildRunReport(wl, scale, workloads.Modified, row.detector,
-				row.cfg.seed, row.cfg.detSync, res, reg)
-			rep.Variant = row.label
-			bench.Runs = append(bench.Runs, rep)
+		rep := buildRunReport(j.wl, scale, workloads.Modified, j.detector,
+			j.cfg.seed, j.cfg.detSync, res, reg)
+		rep.Variant = j.label
+		return jobOut{res: res, rep: rep}
+	})
 
-			perK := rep.Gauge("machine.shared_per_1k_ops")
-			tb.AddRow(wl.Name, row.label, perK,
-				rep.Counter("machine.ops"), rep.Counter("machine.sync_ops"),
-				rep.Counter("kendo.wait_ops"), rep.Outcome)
-			if row.label == "base" {
-				freqs = append(freqs, perK)
-				bench.AddSummary("perf.shared_per_1k_ops."+wl.Name, perK)
-			}
+	var freqs []float64
+	for i, j := range jobs {
+		out := outs[i]
+		if out.res.err != nil {
+			return fmt.Errorf("perf: %s/%s: %v", j.wl.Name, j.label, out.res.err)
+		}
+		rep := out.rep
+		bench.Runs = append(bench.Runs, rep)
+
+		perK := rep.Gauge("machine.shared_per_1k_ops")
+		tb.AddRow(j.wl.Name, j.label, perK,
+			rep.Counter("machine.ops"), rep.Counter("machine.sync_ops"),
+			rep.Counter("kendo.wait_ops"), rep.Outcome)
+		if j.label == "base" {
+			freqs = append(freqs, perK)
+			bench.AddSummary("perf.shared_per_1k_ops."+j.wl.Name, perK)
 		}
 	}
 	bench.AddSummary("perf.shared_per_1k_ops.mean", stats.Mean(freqs))

@@ -28,7 +28,7 @@ func Fig6(w io.Writer, o Options) error {
 	for _, wl := range perfSuite() {
 		time1 := func(cfg runCfg) (float64, float64) {
 			cfg.yieldEvery = ye
-			return meanSeconds(reps, func(rep int) time.Duration {
+			return meanSeconds(o.workers(), reps, func(rep int) time.Duration {
 				cfg.seed = int64(rep)
 				r := runWorkload(wl, scale, workloads.Modified, cfg)
 				if r.err != nil {
@@ -59,8 +59,15 @@ func Fig6(w io.Writer, o Options) error {
 func Fig7(w io.Writer, o Options) error {
 	scale := o.scale(workloads.ScaleNative)
 	tb := stats.NewTable("benchmark", "shared/1k ops", "shared accesses", "ops")
-	for _, wl := range perfSuite() {
-		r := runWorkload(wl, scale, workloads.Modified, runCfg{yieldEvery: o.yieldEvery()})
+	suite := perfSuite()
+	// One independent run per workload: fan across the suite, report in
+	// suite order. Frequencies are deterministic, so the table is
+	// byte-identical however the runs were scheduled.
+	results := forEachIndexed(o.workers(), len(suite), func(i int) runResult {
+		return runWorkload(suite[i], scale, workloads.Modified, runCfg{yieldEvery: o.yieldEvery()})
+	})
+	for i, wl := range suite {
+		r := results[i]
 		if r.err != nil {
 			return fmt.Errorf("fig7: %s: %v", wl.Name, r.err)
 		}
@@ -84,7 +91,7 @@ func Fig8(w io.Writer, o Options) error {
 	var speedups []float64
 	for _, wl := range perfSuite() {
 		time1 := func(cfg core.Config) float64 {
-			m, _ := meanSeconds(reps, func(rep int) time.Duration {
+			m, _ := meanSeconds(o.workers(), reps, func(rep int) time.Duration {
 				r := runWorkload(wl, scale, workloads.Modified, runCfg{
 					seed: int64(rep), yieldEvery: ye,
 					detector: cleanDetector(cfg),
@@ -96,7 +103,7 @@ func Fig8(w io.Writer, o Options) error {
 			})
 			return m
 		}
-		base, _ := meanSeconds(reps, func(rep int) time.Duration {
+		base, _ := meanSeconds(o.workers(), reps, func(rep int) time.Duration {
 			r := runWorkload(wl, scale, workloads.Modified, runCfg{seed: int64(rep), yieldEvery: ye})
 			return r.elapsed
 		})
@@ -147,8 +154,13 @@ func Table1(w io.Writer, o Options) error {
 	wide := vclock.WideClockLayout
 	tb := stats.NewTable("benchmark", "rollovers/s", "exec time decrease (28-bit)")
 	for _, wl := range perfSuite() {
-		var rollovers uint64
-		narrowT, _ := meanSeconds(reps, func(rep int) time.Duration {
+		// The narrow runs are fanned out by index so the per-rep rollover
+		// counts can be summed afterwards without a shared accumulator.
+		type narrowRun struct {
+			elapsed   time.Duration
+			rollovers uint64
+		}
+		runs := forEachIndexed(o.workers(), reps, func(rep int) narrowRun {
 			r := runWorkload(wl, scale, workloads.Modified, runCfg{
 				seed: int64(rep), yieldEvery: ye, detSync: true,
 				layout:   narrow,
@@ -157,13 +169,19 @@ func Table1(w io.Writer, o Options) error {
 			if r.err != nil {
 				panic(fmt.Sprintf("table1: %s: %v", wl.Name, r.err))
 			}
-			rollovers += r.stats.Rollovers
-			return r.elapsed
+			return narrowRun{elapsed: r.elapsed, rollovers: r.stats.Rollovers}
 		})
+		var rollovers uint64
+		secs := make([]float64, 0, reps)
+		for _, nr := range runs {
+			rollovers += nr.rollovers
+			secs = append(secs, nr.elapsed.Seconds())
+		}
+		narrowT := stats.Mean(secs)
 		if rollovers == 0 {
 			continue
 		}
-		wideT, _ := meanSeconds(reps, func(rep int) time.Duration {
+		wideT, _ := meanSeconds(o.workers(), reps, func(rep int) time.Duration {
 			r := runWorkload(wl, scale, workloads.Modified, runCfg{
 				seed: int64(rep), yieldEvery: ye, detSync: true,
 				layout:   wide,
@@ -194,11 +212,11 @@ func Ablation(w io.Writer, o Options) error {
 	tb := stats.NewTable("benchmark", "clean", "fasttrack", "tsanlite", "FT meta ×CLEAN")
 	var cl, ft, ts []float64
 	for _, wl := range perfSuite() {
-		base, _ := meanSeconds(reps, func(rep int) time.Duration {
+		base, _ := meanSeconds(o.workers(), reps, func(rep int) time.Duration {
 			return runWorkload(wl, scale, workloads.Modified, runCfg{seed: int64(rep), yieldEvery: ye}).elapsed
 		})
 		time1 := func(det func() machine.Detector) float64 {
-			m, _ := meanSeconds(reps, func(rep int) time.Duration {
+			m, _ := meanSeconds(o.workers(), reps, func(rep int) time.Duration {
 				r := runWorkload(wl, scale, workloads.Modified, runCfg{
 					seed: int64(rep), yieldEvery: ye, detector: det,
 				})

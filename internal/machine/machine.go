@@ -198,6 +198,16 @@ type Machine struct {
 
 	clockHW []uint32 // per-tid high-water of issued clocks (epoch sanity)
 
+	// accessCtr pre-resolves the hot-path access counters by
+	// [shared][write], so the access classification is one comparison and
+	// one indexed increment — no branches. Private reads and writes share
+	// a counter, mirroring Stats.PrivateAccesses.
+	accessCtr [2][2]*uint64
+
+	// runnableBuf is the reusable scratch slice pick fills every scheduling
+	// round; reusing it keeps the dispatch loop allocation-free.
+	runnableBuf []*Thread
+
 	recent  [dumpDecisions]Decision // scheduler-decision ring for dumps
 	recentN uint64
 
@@ -228,6 +238,10 @@ func New(cfg Config) *Machine {
 		yielded:       make(chan *Thread),
 		finalCounters: make(map[int]uint64),
 		initErr:       initErr,
+	}
+	m.accessCtr = [2][2]*uint64{
+		{&m.stats.PrivateAccesses, &m.stats.PrivateAccesses},
+		{&m.stats.SharedReads, &m.stats.SharedWrites},
 	}
 	m.tel = newMachineTel(m, cfg)
 	return m
@@ -365,7 +379,7 @@ func (m *Machine) pick() (*Thread, bool) {
 		tel.kendoQueueDepth.Observe(float64(kendo.QueueDepth(kendoRT{m: m})))
 	}
 	inj := m.cfg.Injector
-	var runnable []*Thread
+	runnable := m.runnableBuf[:0]
 	stalled := false
 	for _, t := range m.threads {
 		if t == nil || t.state != stateRunnable {
@@ -377,6 +391,7 @@ func (m *Machine) pick() (*Thread, bool) {
 		}
 		runnable = append(runnable, t)
 	}
+	m.runnableBuf = runnable
 	if len(runnable) == 0 {
 		return nil, stalled
 	}
@@ -505,7 +520,7 @@ func (m *Machine) performReset() {
 		}
 		// Restart clocks at 1, not 0, for the same reason Run does:
 		// epoch (tid, 0) must stay reserved for "never written".
-		t.VC.Tick(t.ID)
+		t.epoch = m.layout.Pack(t.ID, t.VC.Tick(t.ID))
 		if t.state == stateParked {
 			t.state = stateRunnable
 		}
@@ -518,6 +533,7 @@ func (m *Machine) performReset() {
 // reaches the layout's limit.
 func (m *Machine) tickClock(t *Thread) {
 	c := t.VC.Tick(t.ID)
+	t.epoch = m.layout.Pack(t.ID, c)
 	if c > m.clockHW[t.ID] {
 		m.clockHW[t.ID] = c
 	}
@@ -574,6 +590,7 @@ func (m *Machine) newThread(fn func(*Thread)) (*Thread, error) {
 		resume:   make(chan struct{}),
 		state:    stateNew,
 		sfrStart: m.stats.Ops, // the first SFR begins at spawn time
+		epoch:    m.layout.Pack(tid, 0),
 	}
 	m.liveID++
 	for len(m.threads) <= tid {

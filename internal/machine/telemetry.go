@@ -24,6 +24,11 @@ type machineTel struct {
 	syncOps         *telemetry.Counter
 	raceExceptions  *telemetry.Counter
 
+	// accessCtr indexes the three counters above by [shared][write],
+	// mirroring Machine.accessCtr so the instrumented access path stays
+	// branch-free when metrics are enabled.
+	accessCtr [2][2]*telemetry.Counter
+
 	// Kendo wait attribution (§3.3 / §6.1): one wait_ops count and one
 	// wait_yields observation per contended turn wait, queue depth sampled
 	// at every scheduling decision.
@@ -60,6 +65,10 @@ func newMachineTel(m *Machine, cfg Config) *machineTel {
 		kendoWaits:      reg.Counter("kendo.wait_ops"),
 		kendoWaitYields: reg.Histogram("kendo.wait_yields", stats.ExpBuckets(1, 2, 12)...),
 		kendoQueueDepth: reg.Histogram("kendo.queue_depth", stats.ExpBuckets(1, 2, 6)...),
+	}
+	tel.accessCtr = [2][2]*telemetry.Counter{
+		{tel.privateAccesses, tel.privateAccesses},
+		{tel.sharedReads, tel.sharedWrites},
 	}
 	tel.waitObs = &kendoWaitObs{m: m}
 	return tel

@@ -44,6 +44,13 @@ type Thread struct {
 	// thread; it increments at every synchronization operation.
 	SFRIndex uint64
 
+	// epoch caches the thread's current epoch — Pack(ID, VC[ID]) under the
+	// machine's layout — so the detector's per-access check reads one field
+	// instead of re-packing the vector clock. The machine refreshes it at
+	// every point the thread's own clock element changes: tickClock and the
+	// rollover reset.
+	epoch vclock.Epoch
+
 	m      *Machine
 	fn     func(*Thread)
 	resume chan struct{}
@@ -85,6 +92,12 @@ type Thread struct {
 
 // Machine returns the machine this thread runs on.
 func (t *Thread) Machine() *Machine { return t.m }
+
+// Epoch returns the thread's current epoch — the packed (ID, clock) pair
+// under the machine's layout — from the per-thread cache, which the
+// machine invalidates on every clock bump. This is the detector's
+// EPOCH(t) read (Fig. 2) at the cost of one field load.
+func (t *Thread) Epoch() vclock.Epoch { return t.epoch }
 
 // yield hands control to the scheduler and blocks until redispatched.
 func (t *Thread) yield() {
@@ -209,20 +222,15 @@ func (t *Thread) CompareAndSwap(addr uint64, size int, old, new uint64) bool {
 func (t *Thread) access(addr uint64, size int, write bool, v uint64) uint64 {
 	m := t.m
 	t.step(1)
+	// Classification is branch-free: the single range comparison of Fig. 5
+	// yields an index into the pre-resolved counter table.
 	shared := memory.IsShared(addr)
+	si, wi := b2i(shared), b2i(write)
+	*m.accessCtr[si][wi]++
+	if tel := m.tel; tel != nil {
+		tel.accessCtr[si][wi].Inc()
+	}
 	if shared {
-		if write {
-			m.stats.SharedWrites++
-		} else {
-			m.stats.SharedReads++
-		}
-		if tel := m.tel; tel != nil {
-			if write {
-				tel.sharedWrites.Inc()
-			} else {
-				tel.sharedReads.Inc()
-			}
-		}
 		if size < len(m.stats.AccessBySize) {
 			m.stats.AccessBySize[size]++
 		}
@@ -230,11 +238,6 @@ func (t *Thread) access(addr uint64, size int, write bool, v uint64) uint64 {
 		if inj := m.cfg.Injector; inj != nil && m.stopErr == nil {
 			// Metadata-corruption faults fire just before the check.
 			inj.OnSharedAccess(m.sharedSeq, addr)
-		}
-	} else {
-		m.stats.PrivateAccesses++
-		if tel := m.tel; tel != nil {
-			tel.privateAccesses.Inc()
 		}
 	}
 	if m.cfg.Tracer != nil {
@@ -253,6 +256,14 @@ func (t *Thread) access(addr uint64, size int, write bool, v uint64) uint64 {
 		}
 	}
 	return ret
+}
+
+// b2i maps a bool to a counter-table index without a branch.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (t *Thread) check(addr uint64, size int, write bool) {

@@ -9,10 +9,25 @@
 // package reproduces both properties with a lazily populated page table:
 // untouched pages cost nothing, and Reset drops every page in O(pages).
 //
-// All single-epoch operations are atomic (sync/atomic on the backing
-// words) so the compare-and-swap update of §4.3 keeps its meaning when the
-// region is driven from truly concurrent goroutines, as the stress tests
-// do.
+// The region is structured as a page-handle fast lane: every operation
+// resolves its page exactly once and then works on the page's epoch array
+// directly, multi-byte operations (LoadAllEqual, CompareAndSwapRange,
+// StoreRange) run as tight loops over that array, and a last-page cache —
+// the same trick ThreadSanitizer's direct-mapped shadow plays with its
+// application/shadow offset — makes the common same-page access skip the
+// page table entirely.
+//
+// Two synchronization modes exist:
+//
+//   - New returns an unsynchronized region. The cooperative machine
+//     dispatches one thread at a time, so every detector check is already
+//     serialized and the region can use plain loads and stores — this is
+//     the §4.2 fast lane, and the mode every detector uses.
+//   - NewConcurrent returns a region whose single-epoch operations are
+//     atomic (sync/atomic on the backing words) and whose page table is
+//     lock-protected, so the compare-and-swap update of §4.3 keeps its
+//     meaning when the region is driven from truly concurrent goroutines,
+//     as the stress tests do.
 package shadow
 
 import (
@@ -22,16 +37,32 @@ import (
 	"repro/internal/vclock"
 )
 
+// PageShift is log2(PageBytes); the page index of an address is one shift.
+const PageShift = 12
+
 // PageBytes is the number of data bytes covered by one shadow page. Each
 // page therefore backs PageBytes epochs (4×PageBytes metadata bytes),
 // mirroring the 1:4 data:metadata ratio of §4.2.
-const PageBytes = 4096
+const PageBytes = 1 << PageShift
+
+// pageMask extracts the intra-page offset of an address.
+const pageMask = PageBytes - 1
 
 // Region is the epoch shadow for a simulated address space. The zero value
-// is not ready for use; call New.
+// is not ready for use; call New or NewConcurrent.
 type Region struct {
-	mu    sync.RWMutex
+	// concurrent selects atomic epoch operations and a locked page table;
+	// unset, the region relies on the machine's serialization of checks.
+	concurrent bool
+
+	// lastIdx/lastPage cache the most recently resolved page (unsynchronized
+	// mode only): the common same-page access skips the map entirely.
+	lastIdx  uint64
+	lastPage *page
+
 	pages map[uint64]*page
+	mu    sync.RWMutex // guards pages in concurrent mode
+
 	// resets counts completed Reset calls, reported by the Table 1
 	// experiment as the number of rollover resets.
 	resets atomic.Uint64
@@ -41,34 +72,63 @@ type page struct {
 	epochs [PageBytes]uint32
 }
 
-// New returns an empty shadow region.
+// New returns an empty unsynchronized shadow region: the fast lane for
+// detectors driven from the cooperative machine, which serializes all
+// checks. Use NewConcurrent when the region is shared between goroutines.
 func New() *Region {
 	return &Region{pages: make(map[uint64]*page)}
+}
+
+// NewConcurrent returns an empty shadow region safe for concurrent use:
+// single-epoch operations are atomic and the page table is lock-protected.
+func NewConcurrent() *Region {
+	return &Region{concurrent: true, pages: make(map[uint64]*page)}
 }
 
 // Load returns the epoch of the data byte at addr. Untouched bytes read as
 // the zero epoch, which happens-before everything.
 func (r *Region) Load(addr uint64) vclock.Epoch {
-	p := r.lookup(addr / PageBytes)
+	if !r.concurrent {
+		if p := r.lastPage; p != nil && r.lastIdx == addr>>PageShift {
+			return vclock.Epoch(p.epochs[addr&pageMask])
+		}
+	}
+	p := r.lookup(addr >> PageShift)
 	if p == nil {
 		return 0
 	}
-	return vclock.Epoch(atomic.LoadUint32(&p.epochs[addr%PageBytes]))
+	if r.concurrent {
+		return vclock.Epoch(atomic.LoadUint32(&p.epochs[addr&pageMask]))
+	}
+	return vclock.Epoch(p.epochs[addr&pageMask])
 }
 
 // Store unconditionally sets the epoch of the data byte at addr.
 func (r *Region) Store(addr uint64, e vclock.Epoch) {
-	p := r.ensure(addr / PageBytes)
-	atomic.StoreUint32(&p.epochs[addr%PageBytes], uint32(e))
+	p := r.ensure(addr >> PageShift)
+	if r.concurrent {
+		atomic.StoreUint32(&p.epochs[addr&pageMask], uint32(e))
+		return
+	}
+	p.epochs[addr&pageMask] = uint32(e)
 }
 
-// CompareAndSwap atomically replaces the epoch at addr with new if it still
-// equals old, reporting whether the swap happened. A failed swap on a write
-// check is exactly how a concurrent WAW race manifests in software CLEAN
-// (§4.3).
+// CompareAndSwap replaces the epoch at addr with new if it still equals
+// old, reporting whether the swap happened. A failed swap on a write check
+// is exactly how a concurrent WAW race manifests in software CLEAN (§4.3).
+// In unsynchronized mode the machine's serialization of checks supplies
+// the atomicity; in concurrent mode it is a hardware CAS.
 func (r *Region) CompareAndSwap(addr uint64, old, new vclock.Epoch) bool {
-	p := r.ensure(addr / PageBytes)
-	return atomic.CompareAndSwapUint32(&p.epochs[addr%PageBytes], uint32(old), uint32(new))
+	p := r.ensure(addr >> PageShift)
+	if r.concurrent {
+		return atomic.CompareAndSwapUint32(&p.epochs[addr&pageMask], uint32(old), uint32(new))
+	}
+	w := &p.epochs[addr&pageMask]
+	if *w != uint32(old) {
+		return false
+	}
+	*w = uint32(new)
+	return true
 }
 
 // LoadAllEqual loads the epochs of the n data bytes starting at addr and
@@ -76,41 +136,102 @@ func (r *Region) CompareAndSwap(addr uint64, old, new vclock.Epoch) bool {
 // they do. This is the software analogue of the vector load + vector
 // compare of §4.4: in the common case a multi-byte access is validated by
 // inspecting a single epoch.
-func (r *Region) LoadAllEqual(addr uint64, n int) (e vclock.Epoch, allEqual bool) {
+//
+// loads is the number of epoch words actually inspected — n when the range
+// is uniform (or entirely unmapped, which reads as n zero epochs), fewer
+// when a mismatch stops the scan early. Detectors use it to keep their
+// epoch-load counters honest.
+func (r *Region) LoadAllEqual(addr uint64, n int) (e vclock.Epoch, allEqual bool, loads int) {
 	if n <= 0 {
-		return 0, true
+		return 0, true, 0
 	}
+	off := addr & pageMask
+	if !r.concurrent && int(off)+n <= PageBytes {
+		// Fast lane: the whole access lies in one page — resolve it once
+		// and compare over the array.
+		p := r.lookup(addr >> PageShift)
+		if p == nil {
+			return 0, true, n
+		}
+		ep := p.epochs[off : int(off)+n]
+		e0 := ep[0]
+		for i := 1; i < len(ep); i++ {
+			if ep[i] != e0 {
+				return vclock.Epoch(e0), false, i + 1
+			}
+		}
+		return vclock.Epoch(e0), true, n
+	}
+	// Page-crossing or concurrent access: per-byte loads (the last-page
+	// cache still makes the unsynchronized crossing case two resolutions).
 	e = r.Load(addr)
 	for i := 1; i < n; i++ {
 		if r.Load(addr+uint64(i)) != e {
-			return e, false
+			return e, false, i + 1
 		}
 	}
-	return e, true
+	return e, true, n
 }
 
 // CompareAndSwapRange performs the wide-CAS update of §4.4: the n epochs
 // starting at addr are swapped from old to new as one operation. The
 // hardware analogue is a 128-bit CAS covering four epochs; in software the
-// leading epoch is CASed and the rest stored, which is atomic here because
-// the machine serializes race checks (callers needing true concurrent
-// atomicity per epoch use CompareAndSwap). It reports false — a WAW race,
-// §4.3 — when the leading epoch no longer holds old.
+// leading epoch is checked and the rest stored, which is atomic here
+// because the machine serializes race checks (callers needing true
+// concurrent atomicity per epoch use CompareAndSwap). It reports false — a
+// WAW race, §4.3 — when the leading epoch no longer holds old.
 func (r *Region) CompareAndSwapRange(addr uint64, n int, old, new vclock.Epoch) bool {
 	if n <= 0 {
 		return true
 	}
-	if !r.CompareAndSwap(addr, old, new) {
+	if r.concurrent {
+		if !r.CompareAndSwap(addr, old, new) {
+			return false
+		}
+		r.StoreRange(addr+1, n-1, new)
+		return true
+	}
+	off := addr & pageMask
+	p := r.ensure(addr >> PageShift)
+	if p.epochs[off] != uint32(old) {
 		return false
 	}
-	r.StoreRange(addr+1, n-1, new)
+	run := n
+	if int(off)+run > PageBytes {
+		run = PageBytes - int(off)
+	}
+	ep := p.epochs[off : int(off)+run]
+	for i := range ep {
+		ep[i] = uint32(new)
+	}
+	if run < n {
+		r.StoreRange(addr+uint64(run), n-run, new)
+	}
 	return true
 }
 
-// StoreRange unconditionally sets the n epochs starting at addr.
+// StoreRange unconditionally sets the n epochs starting at addr, one page
+// resolution per covered page.
 func (r *Region) StoreRange(addr uint64, n int, e vclock.Epoch) {
-	for i := 0; i < n; i++ {
-		r.Store(addr+uint64(i), e)
+	for n > 0 {
+		off := addr & pageMask
+		p := r.ensure(addr >> PageShift)
+		run := PageBytes - int(off)
+		if run > n {
+			run = n
+		}
+		if r.concurrent {
+			for i := 0; i < run; i++ {
+				atomic.StoreUint32(&p.epochs[int(off)+i], uint32(e))
+			}
+		} else {
+			ep := p.epochs[off : int(off)+run]
+			for i := range ep {
+				ep[i] = uint32(e)
+			}
+		}
+		addr += uint64(run)
+		n -= run
 	}
 }
 
@@ -118,9 +239,14 @@ func (r *Region) StoreRange(addr uint64, n int, e vclock.Epoch) {
 // It models the remap-to-zero-page rollover reset of §4.5: cost is
 // proportional to the number of mapped pages, not to the data size.
 func (r *Region) Reset() {
-	r.mu.Lock()
-	r.pages = make(map[uint64]*page)
-	r.mu.Unlock()
+	if r.concurrent {
+		r.mu.Lock()
+		r.pages = make(map[uint64]*page)
+		r.mu.Unlock()
+	} else {
+		r.pages = make(map[uint64]*page)
+		r.lastPage = nil
+	}
 	r.resets.Add(1)
 }
 
@@ -131,8 +257,10 @@ func (r *Region) Resets() uint64 { return r.resets.Load() }
 // storage. The paper's memory-footprint claim (§4.6) is that this grows
 // with accessed shared data, not with the address-space size.
 func (r *Region) MappedPages() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	if r.concurrent {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+	}
 	return len(r.pages)
 }
 
@@ -140,15 +268,43 @@ func (r *Region) MappedPages() int {
 // (4 bytes of epoch per covered data byte).
 func (r *Region) MetadataBytes() int { return r.MappedPages() * PageBytes * 4 }
 
+// lookup resolves a page index to its page, or nil when unmapped. In
+// unsynchronized mode a hit refreshes the last-page cache.
 func (r *Region) lookup(idx uint64) *page {
-	r.mu.RLock()
+	if r.concurrent {
+		r.mu.RLock()
+		p := r.pages[idx]
+		r.mu.RUnlock()
+		return p
+	}
+	if p := r.lastPage; p != nil && r.lastIdx == idx {
+		return p
+	}
 	p := r.pages[idx]
-	r.mu.RUnlock()
+	if p != nil {
+		r.lastIdx, r.lastPage = idx, p
+	}
 	return p
 }
 
+// ensure resolves a page index, materializing the page on first touch.
 func (r *Region) ensure(idx uint64) *page {
-	if p := r.lookup(idx); p != nil {
+	if !r.concurrent {
+		if p := r.lastPage; p != nil && r.lastIdx == idx {
+			return p
+		}
+		p := r.pages[idx]
+		if p == nil {
+			p = new(page)
+			r.pages[idx] = p
+		}
+		r.lastIdx, r.lastPage = idx, p
+		return p
+	}
+	r.mu.RLock()
+	p := r.pages[idx]
+	r.mu.RUnlock()
+	if p != nil {
 		return p
 	}
 	r.mu.Lock()
@@ -156,7 +312,7 @@ func (r *Region) ensure(idx uint64) *page {
 	if p := r.pages[idx]; p != nil {
 		return p
 	}
-	p := new(page)
+	p = new(page)
 	r.pages[idx] = p
 	return p
 }
