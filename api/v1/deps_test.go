@@ -1,0 +1,50 @@
+package v1
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWirePackageIsDependencyClean pins the package's one structural
+// guarantee: api/v1 imports nothing but the standard library, so a client
+// can vendor the wire types without dragging in the detector
+// implementation, and the internal packages can never leak into the wire
+// contract. It parses every non-test source file in the package directory
+// and rejects any import containing a '.' (module paths) or the module's
+// own "repro/" prefix — in particular anything under internal/.
+func TestWirePackageIsDependencyClean(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	checked := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		checked++
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("%s: bad import %s: %v", name, imp.Path.Value, err)
+			}
+			if strings.Contains(path, ".") || path == "repro" || strings.HasPrefix(path, "repro/") {
+				t.Errorf("%s imports %q: api/v1 must be stdlib-only (no repro/internal/… and no third-party deps)", name, path)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no source files checked")
+	}
+}

@@ -1,0 +1,376 @@
+// Package v1 is the versioned wire contract of the CLEAN detection
+// service (cmd/cleand) and its report-emitting CLIs: pure data types with
+// explicit JSON tags, a schema-version stamp on every document, and strict
+// decoding that rejects unknown fields and version mismatches.
+//
+// The package deliberately imports nothing outside the standard library —
+// a client should be able to vendor these types without dragging in the
+// detector implementation — and CI enforces that (see deps_test.go).
+// Stability rules:
+//
+//   - fields are never removed or repurposed within a schema version;
+//   - new optional fields may be added (decoders here are strict, so
+//     same-version readers must be updated in lockstep — that is the
+//     point: this repository's tools all speak exactly one version);
+//   - any change to a field's meaning bumps SchemaVersion, and decoders
+//     reject documents stamped with a version they do not speak.
+package v1
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// SchemaVersion is stamped into every document this package defines.
+// It matches the RunReport schema introduced by the telemetry layer so a
+// report is the same document whether it was written locally by
+// `cleanrun -report` or returned remotely by cleand.
+const SchemaVersion = 1
+
+// Document kinds: a second self-description guard alongside the schema
+// version, stored in each document's Kind field.
+const (
+	KindRunReport = "clean.run-report"
+	KindSession   = "clean.v1.session"
+	KindJob       = "clean.v1.job"
+	KindHealth    = "clean.v1.health"
+	KindMetrics   = "clean.v1.metrics"
+	KindError     = "clean.v1.error"
+)
+
+// Detector names accepted in SessionConfig.Detection.
+const (
+	DetectionNone      = "none"
+	DetectionCLEAN     = "clean"
+	DetectionFastTrack = "fasttrack"
+	DetectionTSanLite  = "tsanlite"
+)
+
+// Run outcome vocabulary, shared with the local RunReport.
+const (
+	OutcomeCompleted      = "completed"
+	OutcomeRaceException  = "race-exception"
+	OutcomeDeadlock       = "deadlock"
+	OutcomeLivelock       = "livelock"
+	OutcomeContainedCrash = "contained-crash"
+	OutcomeError          = "error"
+)
+
+// Job lifecycle states.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+)
+
+// HistogramSnapshot is the serialized state of one bounded histogram.
+type HistogramSnapshot struct {
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Mean   float64   `json:"mean"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+}
+
+// MetricsSnapshot is the serialized state of a metric registry: every
+// counter, gauge and histogram keyed by its dotted name.
+type MetricsSnapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// RunReport is the machine-readable record of one run: identity (what ran,
+// under which configuration), outcome, and every telemetry metric. It is
+// byte-for-byte the document the telemetry layer has always written; the
+// type lives here so remote clients can decode it without importing the
+// implementation.
+type RunReport struct {
+	Schema   int    `json:"schema"`
+	Kind     string `json:"kind"`
+	Workload string `json:"workload,omitempty"`
+	Scale    string `json:"scale,omitempty"`
+	Variant  string `json:"variant,omitempty"`
+	Detector string `json:"detector,omitempty"`
+	Seed     int64  `json:"seed"`
+	DetSync  bool   `json:"detsync"`
+	// Outcome classifies the run using the Outcome* vocabulary.
+	Outcome string `json:"outcome"`
+	// Error is the error string for non-completed runs.
+	Error string `json:"error,omitempty"`
+	// ElapsedSeconds is wall-clock run time — the one nondeterministic
+	// field.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// OutputHash is the workload output fingerprint in hex ("0x…"), empty
+	// for runs that did not complete. Hex instead of a JSON number: the
+	// value is a full 64-bit hash and float64 readers would corrupt it.
+	OutputHash string `json:"output_hash,omitempty"`
+	// Metrics is the registry snapshot.
+	Metrics MetricsSnapshot `json:"metrics"`
+}
+
+// NewRunReport returns a report pre-stamped with the current schema.
+func NewRunReport() *RunReport {
+	return &RunReport{Schema: SchemaVersion, Kind: KindRunReport}
+}
+
+// RaceWitness locates a detected race precisely enough to replay it: the
+// access that raised the exception, the thread and synchronization-free
+// region it ran in, and the earlier conflicting access from the detector
+// metadata.
+type RaceWitness struct {
+	// Kind is "WAW", "RAW" or "WAR".
+	Kind string `json:"kind"`
+	// Addr and Size locate the access that raised the exception.
+	Addr uint64 `json:"addr"`
+	Size int    `json:"size"`
+	// TID is the thread performing the racing access; SFR its
+	// synchronization-free-region index at the time.
+	TID int    `json:"tid"`
+	SFR uint64 `json:"sfr"`
+	// PrevTID and PrevClock describe the earlier conflicting access.
+	PrevTID   int    `json:"prev_tid"`
+	PrevClock uint32 `json:"prev_clock"`
+	// Detector names the detector that raised the exception.
+	Detector string `json:"detector"`
+}
+
+// SessionConfig is the detection configuration a session is created with;
+// every job submitted to the session runs under it. It mirrors the
+// facade's functional options (clean.WithDetection, clean.WithSeed, …).
+type SessionConfig struct {
+	// Detection selects the detector: "none", "clean", "fasttrack" or
+	// "tsanlite".
+	Detection string `json:"detection"`
+	// Seed drives the scheduler's interleaving choices (per-job seeds
+	// override it).
+	Seed int64 `json:"seed"`
+	// DetSync enables Kendo deterministic synchronization.
+	DetSync bool `json:"detsync"`
+	// YieldEvery coarsens scheduling granularity (0 = every operation).
+	YieldEvery int `json:"yield_every,omitempty"`
+	// MaxSteps bounds each run's scheduler dispatches (0 = the server's
+	// default budget; runs exceeding it stop with a livelock outcome).
+	MaxSteps uint64 `json:"max_steps,omitempty"`
+	// ClockBits and TIDBits override the 32-bit epoch split.
+	ClockBits uint `json:"clock_bits,omitempty"`
+	TIDBits   uint `json:"tid_bits,omitempty"`
+	// DisableMultibyteOpt turns off the vectorized multi-byte check
+	// (CLEAN only).
+	DisableMultibyteOpt bool `json:"disable_multibyte_opt,omitempty"`
+	// Metrics attaches a telemetry registry to every run and returns a
+	// full RunReport per run result.
+	Metrics bool `json:"metrics,omitempty"`
+}
+
+// CreateSessionRequest opens a detection session.
+type CreateSessionRequest struct {
+	Schema int           `json:"schema"`
+	Config SessionConfig `json:"config"`
+}
+
+// Session describes a detection session.
+type Session struct {
+	Schema int    `json:"schema"`
+	Kind   string `json:"kind"`
+	ID     string `json:"id"`
+	// State is "active" or "closed".
+	State  string        `json:"state"`
+	Config SessionConfig `json:"config"`
+	// JobsSubmitted/JobsDone count the session's jobs.
+	JobsSubmitted int `json:"jobs_submitted"`
+	JobsDone      int `json:"jobs_done"`
+}
+
+// WorkloadSpec names a benchmark stand-in to run remotely.
+type WorkloadSpec struct {
+	// Name is the workload name from the registry (e.g. "fft").
+	Name string `json:"name"`
+	// Scale is "test", "simsmall", "simlarge" or "native".
+	Scale string `json:"scale"`
+	// Variant is "modified" (race-free) or "unmodified".
+	Variant string `json:"variant"`
+}
+
+// JobSpec describes one detection job. Exactly one of Program, Litmus and
+// Workload must be set.
+type JobSpec struct {
+	// Program is a program in the internal/prog text format ("region N" /
+	// "locks N" / "thread" / per-op lines).
+	Program string `json:"program,omitempty"`
+	// Litmus names a litmus program from the server's registry.
+	Litmus string `json:"litmus,omitempty"`
+	// Workload names a benchmark stand-in.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// Schedule, for program/litmus jobs, forces the sequential-composition
+	// schedule that runs the listed workers in order (the static
+	// analyzer's witness-replay schedule) instead of the seeded scheduler.
+	Schedule []int `json:"schedule,omitempty"`
+	// Seeds fans the job out over one run per seed on the server's worker
+	// pool; empty means one run under the session seed.
+	Seeds []int64 `json:"seeds,omitempty"`
+}
+
+// SubmitJobRequest submits a job to a session.
+type SubmitJobRequest struct {
+	Schema int     `json:"schema"`
+	Job    JobSpec `json:"job"`
+}
+
+// RunResult is the outcome of one run of a job.
+type RunResult struct {
+	// Seed is the scheduler seed the run used (absent for scheduled
+	// witness replays, which are seed-independent).
+	Seed int64 `json:"seed"`
+	// Outcome classifies the run using the Outcome* vocabulary.
+	Outcome string `json:"outcome"`
+	// Error is the error string for non-completed runs.
+	Error string `json:"error,omitempty"`
+	// Witness is the race exception's witness for race-exception runs.
+	Witness *RaceWitness `json:"witness,omitempty"`
+	// DeterminismHash fingerprints the run's final shared state in hex
+	// ("0x…"): the program region or the workload output region. For a
+	// completed deterministic-sync run it is identical across seeds and
+	// identical to the same configuration run in-process.
+	DeterminismHash string `json:"determinism_hash,omitempty"`
+	// FinalCounters are the threads' deterministic counters in spawn
+	// order.
+	FinalCounters []uint64 `json:"final_counters,omitempty"`
+	// ElapsedSeconds is the run's wall-clock time on the server.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Report is the full telemetry report (sessions with Metrics only).
+	Report *RunReport `json:"report,omitempty"`
+}
+
+// Job describes a submitted job and, once done, its results.
+type Job struct {
+	Schema  int    `json:"schema"`
+	Kind    string `json:"kind"`
+	ID      string `json:"id"`
+	Session string `json:"session"`
+	// State is "queued", "running" or "done".
+	State string  `json:"state"`
+	Spec  JobSpec `json:"spec"`
+	// Runs holds one result per run, in seed order, once State is "done".
+	Runs []RunResult `json:"runs,omitempty"`
+}
+
+// Health is the /healthz document.
+type Health struct {
+	Schema int    `json:"schema"`
+	Kind   string `json:"kind"`
+	// Status is "ok" or "draining".
+	Status string `json:"status"`
+	// Sessions is the number of active sessions.
+	Sessions int `json:"sessions"`
+	// QueueDepth and QueueCap describe the job queue's occupancy.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// Workers is the size of the worker pool.
+	Workers int `json:"workers"`
+}
+
+// Metrics is the /metrics document: the server's own registry snapshot.
+type Metrics struct {
+	Schema  int             `json:"schema"`
+	Kind    string          `json:"kind"`
+	Metrics MetricsSnapshot `json:"metrics"`
+}
+
+// Error is the error envelope every non-2xx response carries.
+type Error struct {
+	Schema int    `json:"schema"`
+	Kind   string `json:"kind"`
+	// Status is the HTTP status code.
+	Status int `json:"status"`
+	// Message describes the failure.
+	Message string `json:"message"`
+	// RetryAfterSeconds, for 429 responses, mirrors the Retry-After
+	// header: the queue was full, try again after this many seconds.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("cleand: %d: %s", e.Status, e.Message)
+}
+
+// NewError returns an error envelope stamped with the current schema.
+func NewError(status int, message string) *Error {
+	return &Error{Schema: SchemaVersion, Kind: KindError, Status: status, Message: message}
+}
+
+// Encode renders any document of this package as deterministic, indented
+// JSON (Go serializes maps with sorted keys), terminated by a newline.
+func Encode(v interface{}) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeStrict parses data into v, rejecting unknown fields — a
+// same-version reader that does not know a field must fail loudly rather
+// than silently drop it.
+func DecodeStrict(data []byte, v interface{}) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// CheckHeader validates a document's schema/kind stamp.
+func CheckHeader(schema int, kind, wantKind string) error {
+	if schema != SchemaVersion {
+		return fmt.Errorf("api/v1: schema version %d, this reader expects %d", schema, SchemaVersion)
+	}
+	if kind != wantKind {
+		return fmt.Errorf("api/v1: document kind %q, want %q", kind, wantKind)
+	}
+	return nil
+}
+
+// DecodeRunReport parses and validates an encoded run report.
+func DecodeRunReport(data []byte) (*RunReport, error) {
+	var r RunReport
+	if err := DecodeStrict(data, &r); err != nil {
+		return nil, fmt.Errorf("api/v1: decoding run report: %w", err)
+	}
+	if err := CheckHeader(r.Schema, r.Kind, KindRunReport); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Validate checks that exactly one job source is set and the spec is
+// internally consistent; servers and clients share this check.
+func (s *JobSpec) Validate() error {
+	sources := 0
+	if s.Program != "" {
+		sources++
+	}
+	if s.Litmus != "" {
+		sources++
+	}
+	if s.Workload != nil {
+		sources++
+	}
+	if sources != 1 {
+		return fmt.Errorf("api/v1: job must set exactly one of program, litmus, workload (got %d)", sources)
+	}
+	if s.Workload != nil && len(s.Schedule) > 0 {
+		return fmt.Errorf("api/v1: schedule applies only to program/litmus jobs")
+	}
+	if s.Workload != nil && s.Workload.Name == "" {
+		return fmt.Errorf("api/v1: workload job missing name")
+	}
+	if len(s.Schedule) > 0 && len(s.Seeds) > 0 {
+		return fmt.Errorf("api/v1: a scheduled replay is seed-independent; schedule and seeds are exclusive")
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package v1
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunReportRoundTrip(t *testing.T) {
+	r := NewRunReport()
+	r.Workload = "fft"
+	r.Scale = "test"
+	r.Detector = DetectionCLEAN
+	r.Seed = 3
+	r.DetSync = true
+	r.Outcome = OutcomeCompleted
+	r.OutputHash = "0x00000000deadbeef"
+	r.Metrics = MetricsSnapshot{Counters: map[string]uint64{"machine.shared_reads": 7}}
+	data, err := Encode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRunReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload != r.Workload || back.Seed != r.Seed || !back.DetSync ||
+		back.Metrics.Counters["machine.shared_reads"] != 7 {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestDecodeRejectsWrongSchemaAndUnknownFields(t *testing.T) {
+	if _, err := DecodeRunReport([]byte(`{"schema":2,"kind":"clean.run-report","seed":0,"detsync":false,"outcome":"completed","elapsed_seconds":0,"metrics":{}}`)); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("want schema-version error, got %v", err)
+	}
+	if _, err := DecodeRunReport([]byte(`{"schema":1,"kind":"clean.run-report","seed":0,"detsync":false,"outcome":"completed","elapsed_seconds":0,"metrics":{},"surprise":1}`)); err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("want unknown-field error, got %v", err)
+	}
+	if _, err := DecodeRunReport([]byte(`{"schema":1,"kind":"clean.bench","seed":0,"detsync":false,"outcome":"completed","elapsed_seconds":0,"metrics":{}}`)); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Fatalf("want kind error, got %v", err)
+	}
+}
+
+func TestJobSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+		ok   bool
+	}{
+		{"none", JobSpec{}, false},
+		{"two sources", JobSpec{Litmus: "waw", Program: "region 8\nlocks 0\nthread\n"}, false},
+		{"litmus", JobSpec{Litmus: "waw"}, true},
+		{"program", JobSpec{Program: "region 8\nlocks 0\nthread\n  write 0 8\n"}, true},
+		{"workload", JobSpec{Workload: &WorkloadSpec{Name: "fft", Scale: "test", Variant: "modified"}}, true},
+		{"workload no name", JobSpec{Workload: &WorkloadSpec{Scale: "test"}}, false},
+		{"workload with schedule", JobSpec{Workload: &WorkloadSpec{Name: "fft"}, Schedule: []int{0}}, false},
+		{"schedule", JobSpec{Litmus: "waw", Schedule: []int{0, 1}}, true},
+		{"schedule and seeds", JobSpec{Litmus: "waw", Schedule: []int{0}, Seeds: []int64{1}}, false},
+		{"seeds", JobSpec{Litmus: "waw", Seeds: []int64{1, 2, 3}}, true},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}

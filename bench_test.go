@@ -2,11 +2,13 @@
 // targets, one family per exhibit (DESIGN.md §5 maps each to its paper
 // result). `go test -bench=. -benchmem` runs them all at reduced scale;
 // cmd/cleanbench produces the full formatted tables.
-package clean
+package clean_test
 
 import (
 	"fmt"
 	"testing"
+
+	clean "repro"
 
 	"repro/internal/harness"
 	"repro/internal/hwsim"
@@ -30,9 +32,9 @@ func mustWorkload(b *testing.B, name string) workloads.Workload {
 	return w
 }
 
-func runOnce(b *testing.B, w workloads.Workload, cfg Config) {
+func runOnce(b *testing.B, w workloads.Workload, cfg clean.Config) {
 	b.Helper()
-	m := NewMachine(cfg)
+	m := clean.NewMachine(cfg)
 	root, _ := w.Build(m, workloads.ScaleSimSmall, workloads.Modified)
 	if err := m.Run(root); err != nil {
 		b.Fatalf("%s: %v", w.Name, err)
@@ -46,12 +48,12 @@ func runOnce(b *testing.B, w workloads.Workload, cfg Config) {
 func BenchmarkFig6(b *testing.B) {
 	configs := []struct {
 		name string
-		cfg  Config
+		cfg  clean.Config
 	}{
-		{"base", Config{YieldEvery: 32}},
-		{"detsync", Config{YieldEvery: 32, DeterministicSync: true}},
-		{"detect", Config{YieldEvery: 32, Detection: DetectCLEAN}},
-		{"full", Config{YieldEvery: 32, DeterministicSync: true, Detection: DetectCLEAN}},
+		{"base", clean.Config{YieldEvery: 32}},
+		{"detsync", clean.Config{YieldEvery: 32, DeterministicSync: true}},
+		{"detect", clean.Config{YieldEvery: 32, Detection: clean.DetectCLEAN}},
+		{"full", clean.Config{YieldEvery: 32, DeterministicSync: true, Detection: clean.DetectCLEAN}},
 	}
 	for _, name := range figBenchmarks {
 		w := mustWorkload(b, name)
@@ -76,7 +78,7 @@ func BenchmarkFig7(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var freq float64
 			for i := 0; i < b.N; i++ {
-				m := NewMachine(Config{YieldEvery: 32, Seed: int64(i)})
+				m := clean.NewMachine(clean.Config{YieldEvery: 32, Seed: int64(i)})
 				root, _ := w.Build(m, workloads.ScaleSimSmall, workloads.Modified)
 				if err := m.Run(root); err != nil {
 					b.Fatal(err)
@@ -101,9 +103,9 @@ func BenchmarkFig8(b *testing.B) {
 			}
 			b.Run(name+"/"+sub, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					runOnce(b, w, Config{
+					runOnce(b, w, clean.Config{
 						YieldEvery: 32, Seed: int64(i),
-						Detection: DetectCLEAN, DisableMultibyteOpt: !vec,
+						Detection: clean.DetectCLEAN, DisableMultibyteOpt: !vec,
 					})
 				}
 			})
@@ -129,9 +131,9 @@ func BenchmarkTable1(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			var rollovers uint64
 			for i := 0; i < b.N; i++ {
-				m := NewMachine(Config{
+				m := clean.NewMachine(clean.Config{
 					YieldEvery: 32, Seed: int64(i),
-					DeterministicSync: true, Detection: DetectCLEAN,
+					DeterministicSync: true, Detection: clean.DetectCLEAN,
 					ClockBits: tc.clockBits, TIDBits: tc.tidBits,
 				})
 				root, _ := w.Build(m, workloads.ScaleSimSmall, workloads.Modified)
@@ -151,7 +153,7 @@ func recordBenchTrace(b *testing.B, name string) *trace.Trace {
 	b.Helper()
 	w := mustWorkload(b, name)
 	rec := &trace.Recorder{}
-	m := NewMachine(Config{Seed: 1, YieldEvery: 32, Tracer: rec})
+	m := clean.NewMachine(clean.Config{Seed: 1, YieldEvery: 32, Tracer: rec})
 	root, _ := w.Build(m, workloads.ScaleSimSmall, workloads.Modified)
 	if err := m.Run(root); err != nil {
 		b.Fatal(err)
@@ -221,7 +223,7 @@ func BenchmarkFig11(b *testing.B) {
 func BenchmarkDetect(b *testing.B) {
 	w := mustWorkload(b, "canneal")
 	for i := 0; i < b.N; i++ {
-		m := NewMachine(Config{Detection: DetectCLEAN, DeterministicSync: true, Seed: int64(i)})
+		m := clean.NewMachine(clean.Config{Detection: clean.DetectCLEAN, DeterministicSync: true, Seed: int64(i)})
 		root, _ := w.Build(m, workloads.ScaleSimSmall, workloads.Unmodified)
 		if err := m.Run(root); err == nil {
 			b.Fatal("canneal completed without a race exception")
@@ -235,7 +237,7 @@ func BenchmarkDeterminism(b *testing.B) {
 	w := mustWorkload(b, "barnes")
 	var ref uint64
 	for i := 0; i < b.N; i++ {
-		m := NewMachine(Config{Detection: DetectCLEAN, DeterministicSync: true, Seed: int64(i), YieldEvery: 8})
+		m := clean.NewMachine(clean.Config{Detection: clean.DetectCLEAN, DeterministicSync: true, Seed: int64(i), YieldEvery: 8})
 		root, out := w.Build(m, workloads.ScaleSimSmall, workloads.Modified)
 		if err := m.Run(root); err != nil {
 			b.Fatal(err)
@@ -255,16 +257,16 @@ func BenchmarkDetectors(b *testing.B) {
 	w := mustWorkload(b, "ocean_cp")
 	for _, tc := range []struct {
 		name string
-		d    Detection
+		d    clean.Detection
 	}{
-		{"none", DetectNone},
-		{"clean", DetectCLEAN},
-		{"fasttrack", DetectFastTrack},
-		{"tsanlite", DetectTSanLite},
+		{"none", clean.DetectNone},
+		{"clean", clean.DetectCLEAN},
+		{"fasttrack", clean.DetectFastTrack},
+		{"tsanlite", clean.DetectTSanLite},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				runOnce(b, w, Config{YieldEvery: 32, Seed: int64(i), Detection: tc.d})
+				runOnce(b, w, clean.Config{YieldEvery: 32, Seed: int64(i), Detection: tc.d})
 			}
 		})
 	}
@@ -275,13 +277,13 @@ func BenchmarkDetectors(b *testing.B) {
 func BenchmarkMachineOps(b *testing.B) {
 	for _, tc := range []struct {
 		name string
-		d    Detection
+		d    clean.Detection
 	}{
-		{"noDetect", DetectNone},
-		{"clean", DetectCLEAN},
+		{"noDetect", clean.DetectNone},
+		{"clean", clean.DetectCLEAN},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
-			m := NewMachine(Config{YieldEvery: 64, Detection: tc.d})
+			m := clean.NewMachine(clean.Config{YieldEvery: 64, Detection: tc.d})
 			a := m.AllocShared(4096, 64)
 			b.ResetTimer()
 			err := m.Run(func(t *machine.Thread) {

@@ -19,19 +19,22 @@
 //   - stand-ins for all 26 SPLASH-2/PARSEC benchmarks (internal/workloads)
 //     and the per-figure experiment harness (internal/harness).
 //
-// Quick start: build a machine, write threads against the Thread API, and
-// run — a WAW or RAW race stops the execution with a *RaceError.
+// Quick start: build a machine with the functional options, write threads
+// against the Thread API, and run — a WAW or RAW race stops the execution
+// with a *RaceError.
 //
-//	m := clean.NewMachine(clean.Config{Detection: clean.DetectCLEAN})
+//	m, err := clean.New(clean.WithDetection(clean.DetectCLEAN), clean.WithSeed(0))
+//	if err != nil { ... }
 //	x := m.AllocShared(8, 8)
-//	err := m.Run(func(t *clean.Thread) {
+//	err = m.Run(func(t *clean.Thread) {
 //		child := t.Spawn(func(c *clean.Thread) { c.StoreU64(x, 1) })
 //		t.StoreU64(x, 2) // races with the child → WAW exception
 //		t.Join(child)
 //	})
 //
-// See examples/ for complete programs and cmd/cleanbench for the paper's
-// evaluation.
+// See examples/ for complete programs, cmd/cleanbench for the paper's
+// evaluation, and cmd/cleand for serving detection over HTTP (the api/v1
+// wire contract).
 package clean
 
 import (
@@ -77,6 +80,9 @@ type (
 	Dump = machine.Dump
 	// Injector is the fault-injection hook (see internal/faults).
 	Injector = machine.Injector
+	// Tracer receives the machine's dynamic event stream (see
+	// internal/trace and internal/hwsim).
+	Tracer = machine.Tracer
 	// Stats aggregates a run's counters.
 	Stats = machine.Stats
 	// RaceKind classifies a race (WAW, RAW, WAR).
@@ -172,7 +178,7 @@ type Config struct {
 	MaxSteps uint64
 	// Tracer, if non-nil, records the run's event stream (see
 	// internal/trace and internal/hwsim).
-	Tracer machine.Tracer
+	Tracer Tracer
 	// FaultInjector, if non-nil, receives the machine's fault-injection
 	// callbacks (see internal/faults for the deterministic plan-driven
 	// implementation).
@@ -185,6 +191,13 @@ type Config struct {
 	// out with Timeline.WriteTo and load the JSON in Perfetto or
 	// chrome://tracing.
 	Timeline *Timeline
+
+	// detectionSet and seedSet record that the option constructors chose
+	// these fields explicitly; NewConfig rejects configurations that leave
+	// either ambiguous. Struct-literal construction bypasses the check —
+	// kept for compatibility, validated only by Validate's range checks.
+	detectionSet bool
+	seedSet      bool
 }
 
 func (c Config) layout() vclock.Layout {
@@ -214,7 +227,17 @@ func (c Config) detector() machine.Detector {
 // NewMachine builds a machine per cfg. Allocate memory and create
 // synchronization objects on it, then call Run with the root thread's
 // function.
+//
+// Prefer New(opts...): it validates eagerly and returns the error.
+// NewMachine cannot return one, so an invalid cfg (an out-of-range
+// detection mode, a bad epoch layout) no longer silently defaults —
+// Run fails with a structured *MachineError (ErrConfig) describing it.
 func NewMachine(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		m := NewMachineWithDetector(cfg, nil)
+		m.FailEarly(&MachineError{Kind: ErrConfig, TID: -1, Op: "config", Msg: err.Error()})
+		return m
+	}
 	return NewMachineWithDetector(cfg, cfg.detector())
 }
 
@@ -223,6 +246,12 @@ func NewMachine(cfg Config) *Machine {
 // detectors (core.Config{Monitor: true}, tsanlite) attach through
 // NewMachineWithDetector.
 type Detector = machine.Detector
+
+// NewDetector instantiates the detector the configuration selects (nil
+// for DetectNone), for callers that build machines through entry points
+// taking an explicit detector — prog.RunPicked witness replays,
+// NewMachineWithDetector.
+func (c Config) NewDetector() Detector { return c.detector() }
 
 // NewMachineWithDetector builds a machine with a caller-supplied detector
 // instance, overriding cfg.Detection.
@@ -349,6 +378,12 @@ func (d Detection) String() string {
 	}
 	return "none"
 }
+
+// OutcomeOf maps a Run error to the RunReport outcome vocabulary
+// ("completed", "race-exception", "deadlock", "livelock",
+// "contained-crash", "error"); RunWorkload, the CLIs and the detection
+// service all classify through it.
+func OutcomeOf(err error) string { return classifyOutcome(err) }
 
 // classifyOutcome maps a Run error to the RunReport outcome vocabulary.
 func classifyOutcome(err error) string {

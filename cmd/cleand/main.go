@@ -1,0 +1,96 @@
+// Command cleand serves the CLEAN detection stack over HTTP: sessions
+// carry a detection configuration, jobs submit programs, litmus tests,
+// witness-replay schedules or benchmark stand-ins, and a bounded worker
+// pool runs them, returning api/v1 documents with race witnesses,
+// determinism hashes and telemetry RunReports. Results match what the
+// same configuration produces in-process, byte for byte.
+//
+// Usage:
+//
+//	cleand                         # serve on :7319
+//	cleand -addr 127.0.0.1:0       # ephemeral port (printed on stdout)
+//	cleand -workers 4 -queue 64    # bigger pool and queue
+//
+// A full queue rejects submissions with 429 and a Retry-After header;
+// SIGTERM (or SIGINT) drains: intake stops, queued and running jobs
+// finish and stay pollable until the drain completes, then the process
+// exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cleand: ")
+	var (
+		addr         = flag.String("addr", ":7319", "listen address (host:0 picks an ephemeral port)")
+		workers      = flag.Int("workers", 2, "job worker pool size")
+		queue        = flag.Int("queue", 16, "job queue capacity (full queue → 429)")
+		runpar       = flag.Int("runpar", 0, "per-job seed fan-out parallelism (0 = workers)")
+		maxSteps     = flag.Uint64("maxsteps", 0, "default per-run scheduler budget (0 = server default)")
+		retryAfter   = flag.Duration("retryafter", time.Second, "Retry-After hint on queue-full rejections")
+		drainTimeout = flag.Duration("draintimeout", 60*time.Second, "how long SIGTERM waits for in-flight jobs")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		RunParallelism:  *runpar,
+		DefaultMaxSteps: *maxSteps,
+		RetryAfter:      *retryAfter,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{
+		Handler:           service.Handler(srv),
+		ReadHeaderTimeout: 10 * time.Second,
+		// WriteTimeout must clear the ?wait long-poll budget.
+		WriteTimeout: service.DefaultWait + 10*time.Second,
+	}
+
+	// The bound address goes to stdout so scripts using -addr :0 can
+	// find the port.
+	fmt.Printf("cleand: listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("%v: draining (in-flight jobs finish, new submissions get 503)", sig)
+	}
+
+	// Drain first — polls keep working so clients can collect results of
+	// jobs that were in flight — then stop the HTTP server.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("drained cleanly")
+}

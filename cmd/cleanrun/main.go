@@ -10,10 +10,12 @@
 //	cleanrun -w fft -faults thread-crash         # inject a deterministic fault
 //	cleanrun -w fft -timeline out.json           # Perfetto/chrome://tracing timeline
 //	cleanrun -w fft -report -                    # schema-versioned RunReport JSON
+//	cleanrun -w fft -remote http://host:7319     # run on a cleand server
 //	cleanrun -list                               # show the registry
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,8 +24,10 @@ import (
 	"strings"
 
 	clean "repro"
+	apiv1 "repro/api/v1"
 	"repro/internal/faults"
 	"repro/internal/harness"
+	"repro/internal/service"
 )
 
 func main() {
@@ -42,6 +46,7 @@ func main() {
 		faultStr = flag.String("faults", "", "inject a deterministic fault and verify its replay: "+faultKindList())
 		timeline = flag.String("timeline", "", "write a Chrome trace-event / Perfetto JSON timeline of the run to this file")
 		report   = flag.String("report", "", "write the run's schema-versioned RunReport JSON to this file (- for stdout)")
+		remote   = flag.String("remote", "", "run on a cleand server at this base URL instead of in-process")
 	)
 	flag.Parse()
 
@@ -53,18 +58,17 @@ func main() {
 		return
 	}
 
-	var detection clean.Detection
-	switch *det {
-	case "none":
-		detection = clean.DetectNone
-	case "clean":
-		detection = clean.DetectCLEAN
-	case "fasttrack":
-		detection = clean.DetectFastTrack
-	case "tsanlite":
-		detection = clean.DetectTSanLite
-	default:
-		log.Fatalf("unknown detector %q", *det)
+	detection, err := clean.ParseDetection(*det)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *remote != "" {
+		if *faultStr != "" || *diagnose || *timeline != "" {
+			log.Fatal("-remote supports plain runs only (no -faults, -diagnose, -timeline)")
+		}
+		runRemote(*remote, *det, *detsync, *seed, *maxSteps, *name, *scale, *variant, *report)
+		return
 	}
 
 	if *faultStr != "" {
@@ -77,19 +81,23 @@ func main() {
 		return
 	}
 
-	cfg := clean.Config{
-		Seed:              *seed,
-		Detection:         detection,
-		DeterministicSync: *detsync,
-		MaxSteps:          *maxSteps,
+	opts := []clean.Option{
+		clean.WithDetection(detection),
+		clean.WithSeed(*seed),
+		clean.WithDeterministicSync(*detsync),
+		clean.WithMaxSteps(*maxSteps),
 	}
 	var tl *clean.Timeline
 	if *timeline != "" {
 		tl = clean.NewTimeline()
-		cfg.Timeline = tl
+		opts = append(opts, clean.WithTimeline(tl))
 	}
 	if *report != "" {
-		cfg.Metrics = clean.NewMetrics()
+		opts = append(opts, clean.WithMetrics(clean.NewMetrics()))
+	}
+	cfg, err := clean.NewConfig(opts...)
+	if err != nil {
+		log.Fatal(err)
 	}
 	rep, err := clean.RunWorkload(*name, *scale, *variant == "modified", cfg)
 	if err != nil {
@@ -125,9 +133,12 @@ func main() {
 		fmt.Printf("  the execution was stopped at the racing access;\n")
 		fmt.Printf("  SFR isolation and write-atomicity were preserved up to this point\n")
 		if *diagnose {
-			d, derr := clean.DiagnoseWorkload(*name, *scale, *variant == "modified", clean.Config{
-				Seed: *seed, Detection: detection, DeterministicSync: *detsync,
-			})
+			dcfg, derr := clean.NewConfig(clean.WithDetection(detection),
+				clean.WithSeed(*seed), clean.WithDeterministicSync(*detsync))
+			if derr != nil {
+				log.Fatal(derr)
+			}
+			d, derr := clean.DiagnoseWorkload(*name, *scale, *variant == "modified", dcfg)
 			if derr != nil {
 				log.Fatal(derr)
 			}
@@ -165,6 +176,69 @@ func main() {
 	}
 }
 
+// runRemote executes the workload on a cleand server through the v1
+// client and prints the same outcome summary as a local run. The
+// server's witness and determinism hash match an in-process run of the
+// same configuration byte for byte — remote adds transport, not
+// semantics.
+func runRemote(base, det string, detsync bool, seed int64, maxSteps uint64, name, scale, variant, report string) {
+	ctx := context.Background()
+	c := service.NewClient(base)
+	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{
+		Detection: det,
+		Seed:      seed,
+		DetSync:   detsync,
+		MaxSteps:  maxSteps,
+		Metrics:   report != "",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := c.Run(ctx, sess.ID, apiv1.JobSpec{
+		Workload: &apiv1.WorkloadSpec{Name: name, Scale: scale, Variant: variant},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(job.Runs) != 1 {
+		log.Fatalf("server returned %d runs, want 1", len(job.Runs))
+	}
+	res := job.Runs[0]
+
+	if report != "" && res.Report != nil {
+		data, err := apiv1.Encode(res.Report)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if report == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(report, data, 0o644); err != nil {
+			log.Fatal(err)
+		} else {
+			fmt.Printf("report:     %s\n", report)
+		}
+	}
+
+	fmt.Printf("workload:   %s (%s, %s) on %s\n", name, scale, variant, base)
+	fmt.Printf("detector:   %s   deterministic sync: %v   seed: %d\n", det, detsync, seed)
+	fmt.Printf("elapsed:    %.3fs (server)\n", res.ElapsedSeconds)
+	switch res.Outcome {
+	case apiv1.OutcomeCompleted:
+		fmt.Printf("output:     %s (deterministic under -detsync)\n", res.DeterminismHash)
+		fmt.Printf("completed without a race exception\n")
+	case apiv1.OutcomeRaceException:
+		fmt.Printf("\nRACE EXCEPTION: %s\n", res.Error)
+		if w := res.Witness; w != nil {
+			fmt.Printf("  witness: %s at %#x (%d bytes): thread %d (SFR %d) vs thread %d@%d [%s]\n",
+				w.Kind, w.Addr, w.Size, w.TID, w.SFR, w.PrevTID, w.PrevClock, w.Detector)
+		}
+		os.Exit(2)
+	default:
+		fmt.Printf("\n%s: %s\n", strings.ToUpper(res.Outcome), res.Error)
+		os.Exit(3)
+	}
+}
+
 // faultKindList renders the -faults choices.
 func faultKindList() string {
 	var names []string
@@ -187,9 +261,10 @@ func writeTimeline(path string, tl *clean.Timeline) error {
 	return f.Close()
 }
 
-// writeReport encodes the run report into path, or stdout for "-".
+// writeReport encodes the run report into path, or stdout for "-", in the
+// published api/v1 shape (byte-identical to the internal document).
 func writeReport(path string, rep *clean.RunReport) error {
-	data, err := rep.Encode()
+	data, err := apiv1.Encode(rep.V1())
 	if err != nil {
 		return err
 	}

@@ -69,7 +69,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		m := clean.NewMachine(clean.Config{Seed: *seed, YieldEvery: 32, Tracer: rec})
+		m, err := clean.New(clean.WithDetection(clean.DetectNone), clean.WithSeed(*seed),
+			clean.WithYieldEvery(32), clean.WithTracer(rec))
+		if err != nil {
+			log.Fatal(err)
+		}
 		root, _ := w.Build(m, sc, workloads.Modified)
 		if err := m.Run(root); err != nil {
 			log.Fatalf("tracing run failed: %v", err)

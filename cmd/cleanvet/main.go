@@ -25,13 +25,13 @@ import (
 	"log"
 	"os"
 
+	apiv1 "repro/api/v1"
 	"repro/internal/explore"
 	"repro/internal/machine"
 	"repro/internal/oracle"
 	"repro/internal/prog"
 	"repro/internal/progen"
 	"repro/internal/staticrace"
-	"repro/internal/telemetry"
 )
 
 func main() {
@@ -149,25 +149,11 @@ func printReport(desc string, p *prog.Program, rep *staticrace.Report) {
 	fmt.Printf("verdict:   %v\n", rep.Verdict())
 }
 
-// writeJSON renders the static analysis as a schema-versioned RunReport
-// with staticrace.* counters, for the same tooling that consumes cleanrun
-// and cleansim reports.
+// writeJSON renders the static analysis as a schema-versioned api/v1 run
+// report with staticrace.* counters — the published wire shape, shared
+// with cleanrun -report and the cleand service.
 func writeJSON(path, desc string, p *prog.Program, rep *staticrace.Report) error {
-	reg := telemetry.NewRegistry()
-	reg.Counter("staticrace.threads").Add(uint64(len(p.Threads)))
-	reg.Counter("staticrace.ops").Add(uint64(p.NumOps()))
-	reg.Counter("staticrace.accesses").Add(uint64(len(rep.Accesses)))
-	rf, may, must := rep.Counts()
-	reg.Counter("staticrace.pairs.lock_protected").Add(uint64(rf))
-	reg.Counter("staticrace.pairs.may_race").Add(uint64(may))
-	reg.Counter("staticrace.pairs.must_race").Add(uint64(must))
-	out := telemetry.NewRunReport()
-	out.Workload = desc
-	out.Outcome = "completed"
-	out.Detector = "staticrace"
-	out.Variant = rep.Verdict().String()
-	out.Metrics = reg.Snapshot()
-	data, err := out.Encode()
+	data, err := apiv1.Encode(staticrace.V1Report(desc, p, rep))
 	if err != nil {
 		return err
 	}

@@ -28,7 +28,10 @@ const (
 )
 
 func run(seed int64) (total uint64, err error) {
-	m := clean.NewMachine(clean.Config{Detection: clean.DetectCLEAN, Seed: seed})
+	m, err := clean.New(clean.WithDetection(clean.DetectCLEAN), clean.WithSeed(seed))
+	if err != nil {
+		return 0, err
+	}
 	bal := m.AllocShared(accounts*8, 8)
 	runErr := m.Run(func(t *clean.Thread) {
 		for i := 0; i < accounts; i++ {

@@ -16,11 +16,15 @@ import (
 
 func main() {
 	cfg := func(seed int64) clean.Config {
-		return clean.Config{
-			Detection:         clean.DetectCLEAN,
-			DeterministicSync: true,
-			Seed:              seed,
+		c, err := clean.NewConfig(
+			clean.WithDetection(clean.DetectCLEAN),
+			clean.WithDeterministicSync(true),
+			clean.WithSeed(seed),
+		)
+		if err != nil {
+			log.Fatal(err)
 		}
+		return c
 	}
 
 	fmt.Printf("%-16s %-10s %-28s %s\n", "BENCHMARK", "VARIANT", "OUTCOME", "DETAIL")

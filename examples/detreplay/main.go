@@ -21,16 +21,19 @@ const (
 )
 
 func run(seed int64, deterministic bool) string {
-	m := clean.NewMachine(clean.Config{
-		Detection:         clean.DetectCLEAN,
-		DeterministicSync: deterministic,
-		Seed:              seed,
-	})
+	m, err := clean.New(
+		clean.WithDetection(clean.DetectCLEAN),
+		clean.WithDeterministicSync(deterministic),
+		clean.WithSeed(seed),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	logBuf := m.AllocShared(workers*rounds, 8)
 	cursor := m.AllocShared(8, 8)
 	l := m.NewMutex()
 	var out []byte
-	err := m.Run(func(t *clean.Thread) {
+	err = m.Run(func(t *clean.Thread) {
 		kids := make([]*clean.Thread, 0, workers)
 		for i := 0; i < workers; i++ {
 			pace := i + 1

@@ -16,10 +16,11 @@ import (
 
 func main() {
 	const workload = "canneal" // lock-free by design: races everywhere
-	d, err := clean.DiagnoseWorkload(workload, "simsmall", false, clean.Config{
-		Detection: clean.DetectCLEAN,
-		Seed:      7,
-	})
+	cfg, err := clean.NewConfig(clean.WithDetection(clean.DetectCLEAN), clean.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := clean.DiagnoseWorkload(workload, "simsmall", false, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -32,16 +32,19 @@ const (
 // run executes the pool under the fault plan and reports the outcome.
 func run(plan faults.Plan) (outcome string, crashes uint64) {
 	inj := faults.New(plan)
-	m := clean.NewMachine(clean.Config{
-		Detection:         clean.DetectCLEAN,
-		DeterministicSync: true, // Kendo: makes the failure replayable
-		Seed:              seed,
-		FaultInjector:     inj,
-	})
+	m, err := clean.New(
+		clean.WithDetection(clean.DetectCLEAN),
+		clean.WithDeterministicSync(true), // Kendo: makes the failure replayable
+		clean.WithSeed(seed),
+		clean.WithFaultInjector(inj),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	next := m.AllocShared(8, 8)   // queue cursor
 	done := m.AllocShared(8*8, 8) // per-worker completion counts
 	l := m.NewMutex()
-	err := m.Run(func(t *clean.Thread) {
+	err = m.Run(func(t *clean.Thread) {
 		var ws []*clean.Thread
 		for i := 0; i < workers; i++ {
 			slot := done + uint64(8*i)

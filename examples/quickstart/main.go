@@ -15,9 +15,15 @@ import (
 
 func main() {
 	fmt.Println("--- racy version: unordered writes to x ---")
-	m := clean.NewMachine(clean.Config{Detection: clean.DetectCLEAN})
+	// The functional-options form validates the configuration eagerly;
+	// clean.NewMachine(clean.Config{…}) still works but defers any
+	// configuration error to Run.
+	m, err := clean.New(clean.WithDetection(clean.DetectCLEAN), clean.WithSeed(0))
+	if err != nil {
+		log.Fatal(err)
+	}
 	x := m.AllocShared(8, 8)
-	err := m.Run(func(t *clean.Thread) {
+	err = m.Run(func(t *clean.Thread) {
 		child := t.Spawn(func(c *clean.Thread) {
 			c.StoreU64(x, 1)
 		})
@@ -33,7 +39,10 @@ func main() {
 		re.Kind, re.Addr, re.TID, re.PrevTID)
 
 	fmt.Println("--- fixed version: the writes are ordered by a mutex ---")
-	m2 := clean.NewMachine(clean.Config{Detection: clean.DetectCLEAN})
+	m2, err := clean.New(clean.WithDetection(clean.DetectCLEAN), clean.WithSeed(0))
+	if err != nil {
+		log.Fatal(err)
+	}
 	y := m2.AllocShared(8, 8)
 	l := m2.NewMutex()
 	err = m2.Run(func(t *clean.Thread) {

@@ -29,12 +29,16 @@ func main() {
 
 	metrics := clean.NewMetrics()
 	timeline := clean.NewTimeline()
-	rep, err := clean.RunWorkload("fft", "test", true, clean.Config{
-		Detection:         clean.DetectCLEAN,
-		DeterministicSync: true,
-		Metrics:           metrics,
-		Timeline:          timeline,
-	})
+	cfg, err := clean.NewConfig(
+		clean.WithDetection(clean.DetectCLEAN),
+		clean.WithDeterministicSync(true),
+		clean.WithMetrics(metrics),
+		clean.WithTimeline(timeline),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := clean.RunWorkload("fft", "test", true, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

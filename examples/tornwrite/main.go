@@ -21,10 +21,13 @@ import (
 func main() {
 	outcomes := map[string]int{}
 	for seed := int64(0); seed < 80; seed++ {
-		m := clean.NewMachine(clean.Config{Detection: clean.DetectCLEAN, Seed: seed})
+		m, err := clean.New(clean.WithDetection(clean.DetectCLEAN), clean.WithSeed(seed))
+		if err != nil {
+			log.Fatal(err)
+		}
 		x := m.AllocShared(8, 8)
 		var final uint64
-		err := m.Run(func(t *clean.Thread) {
+		err = m.Run(func(t *clean.Thread) {
 			w1 := t.Spawn(func(c *clean.Thread) {
 				// x = 0x1_00000000, stored in two halves.
 				c.StoreU32(x+4, 0x1)

@@ -9,6 +9,7 @@ import (
 	"io"
 	"time"
 
+	clean "repro"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/stats"
@@ -89,6 +90,9 @@ type runCfg struct {
 	yieldEvery int
 	tracer     machine.Tracer
 	maxSteps   uint64 // 0 = DefaultMaxSteps
+	// injector, if non-nil, receives the machine's deterministic
+	// fault-injection callbacks (resilience experiment).
+	injector machine.Injector
 	// metrics, if non-nil, receives the machine's counters plus the
 	// CLEAN detector's core.* counters when the run ends.
 	metrics *telemetry.Registry
@@ -106,29 +110,49 @@ type runResult struct {
 	detStats *core.Stats
 }
 
-// runWorkload executes one workload variant under cfg and measures it.
-func runWorkload(w workloads.Workload, scale workloads.Scale, variant workloads.Variant, cfg runCfg) runResult {
-	var det machine.Detector
-	if cfg.detector != nil {
-		det = cfg.detector()
-	}
+// machineConfig translates a runCfg onto the facade's functional options
+// — the one config-construction path the facade, CLIs, service and this
+// harness share — and panics on a validation error (harness configs are
+// all code-authored; an invalid one is a bug, in the fatal-error style of
+// this package).
+func (cfg runCfg) machineConfig() clean.Config {
 	maxSteps := cfg.maxSteps
 	if maxSteps == 0 {
 		// Every harness run carries a step budget so a buggy workload
 		// trips the livelock watchdog instead of hanging cleanbench.
 		maxSteps = DefaultMaxSteps
 	}
-	m := machine.New(machine.Config{
-		Seed:       cfg.seed,
-		DetSync:    cfg.detSync,
-		Detector:   det,
-		Layout:     cfg.layout,
-		YieldEvery: cfg.yieldEvery,
-		Tracer:     cfg.tracer,
-		MaxSteps:   maxSteps,
-		Metrics:    cfg.metrics,
-		Timeline:   cfg.timeline,
-	})
+	opts := []clean.Option{
+		// The detector instance is supplied to NewMachineWithDetector
+		// directly (the harness builds monitor-mode and injector-bound
+		// detectors the Detection enum cannot express).
+		clean.WithDetection(clean.DetectNone),
+		clean.WithSeed(cfg.seed),
+		clean.WithDeterministicSync(cfg.detSync),
+		clean.WithYieldEvery(cfg.yieldEvery),
+		clean.WithMaxSteps(maxSteps),
+		clean.WithTracer(cfg.tracer),
+		clean.WithFaultInjector(cfg.injector),
+		clean.WithMetrics(cfg.metrics),
+		clean.WithTimeline(cfg.timeline),
+	}
+	if cfg.layout != (vclock.Layout{}) {
+		opts = append(opts, clean.WithEpochLayout(cfg.layout.ClockBits, cfg.layout.TIDBits))
+	}
+	ccfg, err := clean.NewConfig(opts...)
+	if err != nil {
+		panic(fmt.Sprintf("harness: invalid run configuration: %v", err))
+	}
+	return ccfg
+}
+
+// runWorkload executes one workload variant under cfg and measures it.
+func runWorkload(w workloads.Workload, scale workloads.Scale, variant workloads.Variant, cfg runCfg) runResult {
+	var det machine.Detector
+	if cfg.detector != nil {
+		det = cfg.detector()
+	}
+	m := clean.NewMachineWithDetector(cfg.machineConfig(), det)
 	root, out := w.Build(m, scale, variant)
 	start := time.Now()
 	err := m.Run(root)
@@ -160,7 +184,7 @@ func cleanDetector(cfg core.Config) func() machine.Detector {
 // elapsed seconds. fn must be safe to call concurrently (harness run
 // closures are: each builds a fresh machine).
 func meanSeconds(workers, reps int, fn func(rep int) time.Duration) (mean, ci float64) {
-	ds := forEachIndexed(workers, reps, fn)
+	ds := ForEachIndexed(workers, reps, fn)
 	xs := make([]float64, 0, reps)
 	for _, d := range ds {
 		xs = append(xs, d.Seconds())

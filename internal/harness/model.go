@@ -25,7 +25,7 @@ func Detect(w io.Writer, o Options) error {
 		var exceptions, waw, raw int
 		// Each repetition is an independent run keyed by its seed: fan the
 		// reps across the worker pool and classify in rep order.
-		errs := forEachIndexed(o.workers(), reps, func(rep int) error {
+		errs := ForEachIndexed(o.workers(), reps, func(rep int) error {
 			return runWorkload(wl, scale, workloads.Unmodified, runCfg{
 				seed: int64(rep), detSync: true,
 				detector: cleanDetector(core.Config{}),
@@ -84,7 +84,7 @@ func Determinism(w io.Writer, o Options) error {
 			err error
 			cur fp
 		}
-		outs := forEachIndexed(o.workers(), reps, func(rep int) repOut {
+		outs := ForEachIndexed(o.workers(), reps, func(rep int) repOut {
 			r := runWorkload(wl, scale, workloads.Modified, runCfg{
 				seed: int64(rep), detSync: true,
 				detector: cleanDetector(core.Config{}),

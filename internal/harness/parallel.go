@@ -19,12 +19,12 @@ import (
 // parallelism lives strictly at the between-runs layer, where runs share
 // no state at all.
 
-// forEachIndexed evaluates fn(0), …, fn(n-1) on at most workers
+// ForEachIndexed evaluates fn(0), …, fn(n-1) on at most workers
 // goroutines and returns the results in index order. workers <= 1
 // degrades to the plain sequential loop. A panic in any fn is re-raised
 // on the caller after the pool drains, mirroring the sequential behavior
 // closely enough for the harness's fatal-error style.
-func forEachIndexed[T any](workers, n int, fn func(i int) T) []T {
+func ForEachIndexed[T any](workers, n int, fn func(i int) T) []T {
 	out := make([]T, n)
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {

@@ -12,14 +12,14 @@ import (
 
 func TestForEachIndexedOrderAndCoverage(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 7, 64} {
-		got := forEachIndexed(workers, 40, func(i int) int { return i * i })
+		got := ForEachIndexed(workers, 40, func(i int) int { return i * i })
 		for i, v := range got {
 			if v != i*i {
 				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
 			}
 		}
 	}
-	if got := forEachIndexed(4, 0, func(i int) int { return i }); len(got) != 0 {
+	if got := ForEachIndexed(4, 0, func(i int) int { return i }); len(got) != 0 {
 		t.Fatalf("n=0 returned %d results", len(got))
 	}
 }
@@ -30,7 +30,7 @@ func TestForEachIndexedPanicPropagates(t *testing.T) {
 			t.Fatalf("recovered %v, want the worker's panic value", r)
 		}
 	}()
-	forEachIndexed(4, 16, func(i int) int {
+	ForEachIndexed(4, 16, func(i int) int {
 		if i == 7 {
 			panic("boom")
 		}

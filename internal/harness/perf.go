@@ -53,7 +53,7 @@ func Perf(w io.Writer, o Options) error {
 		res runResult
 		rep telemetry.RunReport
 	}
-	outs := forEachIndexed(o.workers(), len(jobs), func(i int) jobOut {
+	outs := ForEachIndexed(o.workers(), len(jobs), func(i int) jobOut {
 		j := jobs[i]
 		reg := telemetry.NewRegistry()
 		j.cfg.metrics = reg

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	clean "repro"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/machine"
@@ -109,16 +110,15 @@ func runFaultOnce(wl workloads.Workload, scale workloads.Scale, variant workload
 	det := core.New(core.Config{Layout: layout})
 	inj.BindShadow(det.Epochs())
 	reg := telemetry.NewRegistry()
-	m := machine.New(machine.Config{
-		Seed:       seed,
-		DetSync:    true,
-		Detector:   det,
-		Layout:     layout,
-		YieldEvery: yieldEvery,
-		MaxSteps:   maxSteps,
-		Injector:   inj,
-		Metrics:    reg,
-	})
+	m := clean.NewMachineWithDetector(runCfg{
+		seed:       seed,
+		detSync:    true,
+		layout:     layout,
+		yieldEvery: yieldEvery,
+		maxSteps:   maxSteps,
+		injector:   inj,
+		metrics:    reg,
+	}.machineConfig(), det)
 	root, out := wl.Build(m, scale, variant)
 	err := m.Run(root)
 	rep.Err = err

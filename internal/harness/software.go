@@ -63,7 +63,7 @@ func Fig7(w io.Writer, o Options) error {
 	// One independent run per workload: fan across the suite, report in
 	// suite order. Frequencies are deterministic, so the table is
 	// byte-identical however the runs were scheduled.
-	results := forEachIndexed(o.workers(), len(suite), func(i int) runResult {
+	results := ForEachIndexed(o.workers(), len(suite), func(i int) runResult {
 		return runWorkload(suite[i], scale, workloads.Modified, runCfg{yieldEvery: o.yieldEvery()})
 	})
 	for i, wl := range suite {
@@ -160,7 +160,7 @@ func Table1(w io.Writer, o Options) error {
 			elapsed   time.Duration
 			rollovers uint64
 		}
-		runs := forEachIndexed(o.workers(), reps, func(rep int) narrowRun {
+		runs := ForEachIndexed(o.workers(), reps, func(rep int) narrowRun {
 			r := runWorkload(wl, scale, workloads.Modified, runCfg{
 				seed: int64(rep), yieldEvery: ye, detSync: true,
 				layout:   narrow,

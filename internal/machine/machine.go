@@ -247,6 +247,16 @@ func New(cfg Config) *Machine {
 	return m
 }
 
+// FailEarly stashes a configuration error discovered by a wrapper (the
+// facade's Config validation) to be returned, structured, by Run — the
+// same deferred-error path New uses for an invalid layout. The first
+// recorded error wins.
+func (m *Machine) FailEarly(err error) {
+	if m.initErr == nil {
+		m.initErr = err
+	}
+}
+
 // Layout returns the epoch layout the machine was configured with.
 func (m *Machine) Layout() vclock.Layout { return m.layout }
 

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	apiv1 "repro/api/v1"
+)
+
+// Client is the thin Go client of the v1 detection API; cleanrun's
+// -remote mode runs through it. It speaks only api/v1 documents — the
+// detector implementation never crosses the wire.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for a cleand server, e.g.
+// NewClient("http://localhost:7319").
+func NewClient(base string) *Client {
+	return &Client{base: base, http: &http.Client{}}
+}
+
+// CreateSession opens a detection session.
+func (c *Client) CreateSession(ctx context.Context, cfg apiv1.SessionConfig) (*apiv1.Session, error) {
+	req := apiv1.CreateSessionRequest{Schema: apiv1.SchemaVersion, Config: cfg}
+	var sess apiv1.Session
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", &req, &sess); err != nil {
+		return nil, err
+	}
+	return &sess, checkKind(sess.Schema, sess.Kind, apiv1.KindSession)
+}
+
+// Session fetches a session.
+func (c *Client) Session(ctx context.Context, id string) (*apiv1.Session, error) {
+	var sess apiv1.Session
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &sess); err != nil {
+		return nil, err
+	}
+	return &sess, checkKind(sess.Schema, sess.Kind, apiv1.KindSession)
+}
+
+// CloseSession closes a session; its jobs remain readable.
+func (c *Client) CloseSession(ctx context.Context, id string) (*apiv1.Session, error) {
+	var sess apiv1.Session
+	if err := c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, &sess); err != nil {
+		return nil, err
+	}
+	return &sess, checkKind(sess.Schema, sess.Kind, apiv1.KindSession)
+}
+
+// Submit enqueues a job. A full server queue surfaces as a *v1.Error
+// with Status 429 and RetryAfterSeconds set.
+func (c *Client) Submit(ctx context.Context, sessionID string, spec apiv1.JobSpec) (*apiv1.Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	req := apiv1.SubmitJobRequest{Schema: apiv1.SchemaVersion, Job: spec}
+	var job apiv1.Job
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+"/jobs", &req, &job); err != nil {
+		return nil, err
+	}
+	return &job, checkKind(job.Schema, job.Kind, apiv1.KindJob)
+}
+
+// Job fetches a job; wait > 0 asks the server to long-poll that long
+// for completion first.
+func (c *Client) Job(ctx context.Context, sessionID, jobID string, wait time.Duration) (*apiv1.Job, error) {
+	path := "/v1/sessions/" + url.PathEscape(sessionID) + "/jobs/" + url.PathEscape(jobID)
+	if wait > 0 {
+		path += "?wait=" + url.QueryEscape(wait.String())
+	}
+	var job apiv1.Job
+	if err := c.do(ctx, http.MethodGet, path, nil, &job); err != nil {
+		return nil, err
+	}
+	return &job, checkKind(job.Schema, job.Kind, apiv1.KindJob)
+}
+
+// Wait polls (long-poll per round) until the job is done or ctx ends.
+func (c *Client) Wait(ctx context.Context, sessionID, jobID string) (*apiv1.Job, error) {
+	for {
+		job, err := c.Job(ctx, sessionID, jobID, 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		if job.State == apiv1.JobDone {
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("service: waiting for job %s: %w", jobID, ctx.Err())
+		default:
+		}
+	}
+}
+
+// Run is the one-shot convenience the CLI uses: submit, wait, return
+// the finished job.
+func (c *Client) Run(ctx context.Context, sessionID string, spec apiv1.JobSpec) (*apiv1.Job, error) {
+	job, err := c.Submit(ctx, sessionID, spec)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(ctx, sessionID, job.ID)
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (*apiv1.Health, error) {
+	var h apiv1.Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, checkKind(h.Schema, h.Kind, apiv1.KindHealth)
+}
+
+// Metrics fetches /metrics.
+func (c *Client) Metrics(ctx context.Context) (*apiv1.Metrics, error) {
+	var m apiv1.Metrics
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, checkKind(m.Schema, m.Kind, apiv1.KindMetrics)
+}
+
+// do performs one round trip: encode the request document, decode the
+// response strictly, and turn any non-2xx envelope into a *v1.Error.
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		data, err := apiv1.Encode(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e apiv1.Error
+		if err := apiv1.DecodeStrict(data, &e); err == nil && e.Kind == apiv1.KindError {
+			return &e
+		}
+		return fmt.Errorf("cleand: %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	return apiv1.DecodeStrict(data, out)
+}
+
+func checkKind(schema int, kind, want string) error {
+	return apiv1.CheckHeader(schema, kind, want)
+}

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	apiv1 "repro/api/v1"
+)
+
+// MaxRequestBody bounds request documents; programs in the text IR are
+// small, so anything larger is a client error.
+const MaxRequestBody = 1 << 20
+
+// DefaultWait caps the `?wait` long-poll a job GET may request; it is
+// the service's per-request time budget — a handler never blocks longer.
+const DefaultWait = 30 * time.Second
+
+// Handler mounts the v1 API onto a mux:
+//
+//	POST   /v1/sessions                  create a session
+//	GET    /v1/sessions/{id}             fetch a session
+//	DELETE /v1/sessions/{id}             close a session
+//	POST   /v1/sessions/{id}/jobs        submit a job (429 when the queue is full)
+//	GET    /v1/sessions/{id}/jobs/{job}  fetch a job; ?wait=5s long-polls
+//	GET    /healthz                      liveness + queue occupancy
+//	GET    /metrics                      the server's own metric snapshot
+//
+// Every response body is an api/v1 document; every non-2xx response is a
+// v1.Error envelope.
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sessions/{id}/jobs/{job}", s.handleGetJob)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req apiv1.CreateSessionRequest
+	if !readRequest(w, r, &req) {
+		return
+	}
+	if req.Schema != apiv1.SchemaVersion {
+		writeError(w, apiv1.NewError(http.StatusBadRequest,
+			fmt.Sprintf("request schema %d, server speaks %d", req.Schema, apiv1.SchemaVersion)))
+		return
+	}
+	sess, err := s.CreateSession(req.Config)
+	if err != nil {
+		writeServiceError(w, s, err)
+		return
+	}
+	writeDoc(w, http.StatusCreated, sess)
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.Session(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, s, err)
+		return
+	}
+	writeDoc(w, http.StatusOK, sess)
+}
+
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.CloseSession(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, s, err)
+		return
+	}
+	writeDoc(w, http.StatusOK, sess)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req apiv1.SubmitJobRequest
+	if !readRequest(w, r, &req) {
+		return
+	}
+	if req.Schema != apiv1.SchemaVersion {
+		writeError(w, apiv1.NewError(http.StatusBadRequest,
+			fmt.Sprintf("request schema %d, server speaks %d", req.Schema, apiv1.SchemaVersion)))
+		return
+	}
+	job, err := s.Submit(r.PathValue("id"), req.Job)
+	if err != nil {
+		writeServiceError(w, s, err)
+		return
+	}
+	writeDoc(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	var wait time.Duration
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			writeError(w, apiv1.NewError(http.StatusBadRequest, fmt.Sprintf("invalid wait %q", v)))
+			return
+		}
+		// The per-request budget caps the long-poll; clients wanting a
+		// longer wait re-poll.
+		if d > DefaultWait {
+			d = DefaultWait
+		}
+		wait = d
+	}
+	job, err := s.Job(r.PathValue("id"), r.PathValue("job"), wait)
+	if err != nil {
+		writeServiceError(w, s, err)
+		return
+	}
+	writeDoc(w, http.StatusOK, job)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeDoc(w, http.StatusOK, s.Health())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeDoc(w, http.StatusOK, s.Metrics())
+}
+
+// readRequest decodes a strict JSON request body into v; on failure it
+// writes the 400 envelope and returns false.
+func readRequest(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	data, err := io.ReadAll(io.LimitReader(r.Body, MaxRequestBody+1))
+	if err != nil {
+		writeError(w, apiv1.NewError(http.StatusBadRequest, "reading request: "+err.Error()))
+		return false
+	}
+	if len(data) > MaxRequestBody {
+		writeError(w, apiv1.NewError(http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request over %d bytes", MaxRequestBody)))
+		return false
+	}
+	if err := apiv1.DecodeStrict(data, v); err != nil {
+		writeError(w, apiv1.NewError(http.StatusBadRequest, "decoding request: "+err.Error()))
+		return false
+	}
+	return true
+}
+
+// writeServiceError maps the service error vocabulary onto HTTP statuses
+// and the v1.Error envelope.
+func writeServiceError(w http.ResponseWriter, s *Server, err error) {
+	var bad *BadRequestError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		retry := int(s.RetryAfter().Round(time.Second) / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+		e := apiv1.NewError(http.StatusTooManyRequests, err.Error())
+		e.RetryAfterSeconds = retry
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, e)
+	case errors.Is(err, ErrDraining):
+		writeError(w, apiv1.NewError(http.StatusServiceUnavailable, err.Error()))
+	case errors.Is(err, ErrNotFound):
+		writeError(w, apiv1.NewError(http.StatusNotFound, err.Error()))
+	case errors.Is(err, ErrSessionClosed):
+		writeError(w, apiv1.NewError(http.StatusConflict, err.Error()))
+	case errors.As(err, &bad):
+		writeError(w, apiv1.NewError(http.StatusBadRequest, err.Error()))
+	default:
+		writeError(w, apiv1.NewError(http.StatusInternalServerError, err.Error()))
+	}
+}
+
+func writeError(w http.ResponseWriter, e *apiv1.Error) {
+	writeDoc(w, e.Status, e)
+}
+
+func writeDoc(w http.ResponseWriter, status int, v interface{}) {
+	data, err := apiv1.Encode(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}

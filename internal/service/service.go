@@ -1,0 +1,649 @@
+// Package service is the long-lived CLEAN detection service behind
+// cmd/cleand: sessions carry a detection configuration, jobs submit
+// programs (internal/prog text form), named litmus tests, scripted
+// witness-replay schedules or benchmark stand-ins against it, and a
+// bounded worker pool runs them through the same machine/detector stack
+// the in-process API uses. Results are api/v1 documents — race witnesses,
+// determinism hashes and, for metric-enabled sessions, full telemetry
+// RunReports — and are byte-compatible with what the same configuration
+// produces locally: the service adds transport, not semantics.
+//
+// Backpressure is explicit: the job queue is a bounded channel, a full
+// queue rejects the submission (the HTTP layer maps that to 429 with
+// Retry-After), and Drain stops intake, lets queued and running jobs
+// finish, and only then releases the workers — the SIGTERM path of
+// cmd/cleand.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	clean "repro"
+	apiv1 "repro/api/v1"
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/prog"
+	"repro/internal/telemetry"
+	"repro/internal/vclock"
+)
+
+// Config sizes the server.
+type Config struct {
+	// Workers is the job worker pool size (default 2). Each worker runs
+	// one job at a time; a job's multi-seed fan-out additionally
+	// parallelizes across RunParallelism goroutines.
+	Workers int
+	// QueueDepth bounds the job queue (default 16). A submission finding
+	// the queue full is rejected with ErrQueueFull.
+	QueueDepth int
+	// RunParallelism caps a single job's seed fan-out (default: Workers).
+	RunParallelism int
+	// DefaultMaxSteps is the per-run scheduler budget applied when a
+	// session does not set one; it keeps a livelocked submission from
+	// pinning a worker forever (default: harness.DefaultMaxSteps).
+	DefaultMaxSteps uint64
+	// RetryAfter is the client backoff hint attached to queue-full
+	// rejections (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.RunParallelism <= 0 {
+		c.RunParallelism = c.Workers
+	}
+	if c.DefaultMaxSteps == 0 {
+		c.DefaultMaxSteps = harness.DefaultMaxSteps
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Errors the transport layer maps onto HTTP statuses.
+var (
+	// ErrQueueFull rejects a submission because the job queue is at
+	// capacity; clients should retry after Config.RetryAfter.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining rejects a submission because the server is shutting
+	// down.
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrNotFound reports an unknown session or job id.
+	ErrNotFound = errors.New("service: not found")
+	// ErrSessionClosed rejects a submission to a closed session.
+	ErrSessionClosed = errors.New("service: session closed")
+)
+
+// BadRequestError wraps a request-shape problem (invalid config, invalid
+// job spec) so the transport can map it to 400.
+type BadRequestError struct{ Err error }
+
+func (e *BadRequestError) Error() string { return e.Err.Error() }
+func (e *BadRequestError) Unwrap() error { return e.Err }
+
+func badRequest(format string, args ...interface{}) error {
+	return &BadRequestError{Err: fmt.Errorf(format, args...)}
+}
+
+// session is the server-side state of one detection session.
+type session struct {
+	id        string
+	cfg       apiv1.SessionConfig
+	detection clean.Detection
+	state     string // "active" or "closed"
+	jobs      map[string]*job
+	submitted int
+	done      int
+}
+
+// job is the server-side state of one submitted job.
+type job struct {
+	id    string
+	sess  *session
+	spec  apiv1.JobSpec
+	prog  *prog.Program // resolved program for program/litmus jobs
+	state string        // apiv1.JobQueued / JobRunning / JobDone
+	runs  []apiv1.RunResult
+	done  chan struct{} // closed when state reaches JobDone
+}
+
+// Server owns the sessions, the job queue and the worker pool. All
+// methods are safe for concurrent use.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextSess int
+	nextJob  int
+	draining bool
+
+	queue     chan *job
+	inFlight  sync.WaitGroup // accepted jobs not yet done
+	workers   sync.WaitGroup
+	closeOnce sync.Once
+
+	// The server's own registry counts sessions, submissions, rejections
+	// and runs; the telemetry registry is single-threaded by design, so
+	// every touch goes through metricsMu.
+	metricsMu sync.Mutex
+	metrics   *clean.Metrics
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	s := newServer(cfg)
+	s.workers.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// newServer builds the server without starting workers; tests use it to
+// exercise queue saturation deterministically.
+func newServer(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg.withDefaults(),
+		sessions: make(map[string]*session),
+		metrics:  clean.NewMetrics(),
+	}
+	s.queue = make(chan *job, s.cfg.QueueDepth)
+	return s
+}
+
+func (s *Server) count(name string) {
+	s.metricsMu.Lock()
+	s.metrics.Counter(name).Inc()
+	s.metricsMu.Unlock()
+}
+
+// CreateSession validates the configuration and opens a session. The
+// whole configuration is vetted here — through the same option
+// constructors in-process callers use — so every later job submission
+// runs under a known-good config.
+func (s *Server) CreateSession(cfg apiv1.SessionConfig) (*apiv1.Session, error) {
+	if cfg.Detection == "" {
+		return nil, badRequest("config.detection required: state %q explicitly to run without detection", apiv1.DetectionNone)
+	}
+	det, err := clean.ParseDetection(cfg.Detection)
+	if err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	if _, err := clean.NewConfig(s.runOptions(cfg, det, cfg.Seed, nil)...); err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.nextSess++
+	sess := &session{
+		id:        fmt.Sprintf("s-%d", s.nextSess),
+		cfg:       cfg,
+		detection: det,
+		state:     "active",
+		jobs:      make(map[string]*job),
+	}
+	s.sessions[sess.id] = sess
+	s.count("service.sessions_created")
+	return sess.v1(), nil
+}
+
+// Session returns the session document.
+func (s *Server) Session(id string) (*apiv1.Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: session %s", ErrNotFound, id)
+	}
+	return sess.v1(), nil
+}
+
+// CloseSession marks the session closed. Its jobs remain readable;
+// further submissions are rejected.
+func (s *Server) CloseSession(id string) (*apiv1.Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: session %s", ErrNotFound, id)
+	}
+	sess.state = "closed"
+	return sess.v1(), nil
+}
+
+// Submit validates the job spec, resolves its program source, and
+// enqueues it. A full queue fails fast with ErrQueueFull — the
+// submission is not blocked, dropped or silently truncated.
+func (s *Server) Submit(sessionID string, spec apiv1.JobSpec) (*apiv1.Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	var p *prog.Program
+	switch {
+	case spec.Litmus != "":
+		lit := prog.LitmusByName(spec.Litmus)
+		if lit == nil {
+			return nil, badRequest("unknown litmus %q", spec.Litmus)
+		}
+		p = lit.P
+	case spec.Program != "":
+		var err error
+		if p, err = prog.Parse(strings.NewReader(spec.Program)); err != nil {
+			return nil, &BadRequestError{Err: err}
+		}
+	default: // workload
+		switch spec.Workload.Variant {
+		case "", "modified", "unmodified":
+		default:
+			return nil, badRequest("workload variant %q (want \"modified\" or \"unmodified\")", spec.Workload.Variant)
+		}
+	}
+	if len(spec.Schedule) > 0 && p != nil {
+		for _, w := range spec.Schedule {
+			if w < 0 || w >= len(p.Threads) {
+				return nil, badRequest("schedule names worker %d; program has %d workers", w, len(p.Threads))
+			}
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.count("service.jobs_rejected")
+		return nil, ErrDraining
+	}
+	sess, ok := s.sessions[sessionID]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: session %s", ErrNotFound, sessionID)
+	}
+	if sess.state != "active" {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: session %s", ErrSessionClosed, sessionID)
+	}
+	s.nextJob++
+	j := &job{
+		id:    fmt.Sprintf("j-%d", s.nextJob),
+		sess:  sess,
+		spec:  spec,
+		prog:  p,
+		state: apiv1.JobQueued,
+		done:  make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.nextJob-- // not accepted; do not burn the id
+		s.mu.Unlock()
+		s.count("service.jobs_rejected")
+		return nil, ErrQueueFull
+	}
+	s.inFlight.Add(1)
+	sess.jobs[j.id] = j
+	sess.submitted++
+	doc := j.v1()
+	s.mu.Unlock()
+	s.count("service.jobs_submitted")
+	return doc, nil
+}
+
+// Job returns the job document; with wait > 0 it blocks up to that long
+// for the job to finish first (long-poll).
+func (s *Server) Job(sessionID, jobID string, wait time.Duration) (*apiv1.Job, error) {
+	s.mu.Lock()
+	sess, ok := s.sessions[sessionID]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: session %s", ErrNotFound, sessionID)
+	}
+	j, ok := sess.jobs[jobID]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: job %s in session %s", ErrNotFound, jobID, sessionID)
+	}
+	s.mu.Unlock()
+
+	if wait > 0 {
+		select {
+		case <-j.done:
+		case <-time.After(wait):
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.v1(), nil
+}
+
+// RetryAfter is the backoff the transport advertises on queue-full
+// rejections.
+func (s *Server) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+// Health reports queue occupancy and drain state.
+func (s *Server) Health() *apiv1.Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	return &apiv1.Health{
+		Schema:     apiv1.SchemaVersion,
+		Kind:       apiv1.KindHealth,
+		Status:     status,
+		Sessions:   len(s.sessions),
+		QueueDepth: len(s.queue),
+		QueueCap:   s.cfg.QueueDepth,
+		Workers:    s.cfg.Workers,
+	}
+}
+
+// Metrics snapshots the server's own registry.
+func (s *Server) Metrics() *apiv1.Metrics {
+	s.metricsMu.Lock()
+	snap := s.metrics.Snapshot()
+	s.metricsMu.Unlock()
+	return &apiv1.Metrics{Schema: apiv1.SchemaVersion, Kind: apiv1.KindMetrics, Metrics: snap.V1()}
+}
+
+// Drain stops intake (submissions fail with ErrDraining), waits for
+// every accepted job — queued or running — to finish, then shuts the
+// worker pool down. It is idempotent; ctx bounds the wait.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inFlight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %w", ctx.Err())
+	}
+	// No submissions can be in progress past this point: Submit checks
+	// draining under mu before touching the queue.
+	s.closeOnce.Do(func() { close(s.queue) })
+	s.workers.Wait()
+	return nil
+}
+
+// worker consumes jobs until the queue is closed by Drain.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		j.state = apiv1.JobRunning
+		s.mu.Unlock()
+
+		runs := s.runJob(j)
+
+		s.mu.Lock()
+		j.runs = runs
+		j.state = apiv1.JobDone
+		j.sess.done++
+		s.mu.Unlock()
+		close(j.done)
+		s.count("service.jobs_completed")
+		s.inFlight.Done()
+	}
+}
+
+// runJob executes every run of a job and returns the results in seed
+// order. Run-level failures (an unknown workload scale, a config the
+// per-job seed invalidates) land in the result's Outcome/Error — the job
+// itself always completes.
+func (s *Server) runJob(j *job) []apiv1.RunResult {
+	if len(j.spec.Schedule) > 0 {
+		return []apiv1.RunResult{s.runScheduled(j.sess, j.prog, j.spec.Schedule)}
+	}
+	seeds := j.spec.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{j.sess.cfg.Seed}
+	}
+	par := s.cfg.RunParallelism
+	if par > len(seeds) {
+		par = len(seeds)
+	}
+	// The PR-4 experiment-engine pool fans the independent per-seed runs
+	// out; each run builds its own machine, so they share nothing.
+	results := harness.ForEachIndexed(par, len(seeds), func(i int) apiv1.RunResult {
+		if j.prog != nil {
+			return s.runProgram(j.sess, j.prog, seeds[i])
+		}
+		return s.runWorkload(j.sess, j.spec.Workload, seeds[i])
+	})
+	s.metricsMu.Lock()
+	s.metrics.Counter("service.runs_total").Add(uint64(len(results)))
+	s.metricsMu.Unlock()
+	return results
+}
+
+// runOptions translates a session config onto the facade's functional
+// options — the same constructors local callers use, so a remote run is
+// the same run.
+func (s *Server) runOptions(sc apiv1.SessionConfig, det clean.Detection, seed int64, reg *clean.Metrics) []clean.Option {
+	maxSteps := sc.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = s.cfg.DefaultMaxSteps
+	}
+	opts := []clean.Option{
+		clean.WithDetection(det),
+		clean.WithSeed(seed),
+		clean.WithDeterministicSync(sc.DetSync),
+		clean.WithMaxSteps(maxSteps),
+	}
+	if sc.YieldEvery > 0 {
+		opts = append(opts, clean.WithYieldEvery(sc.YieldEvery))
+	}
+	if sc.ClockBits != 0 || sc.TIDBits != 0 {
+		opts = append(opts, clean.WithEpochLayout(sc.ClockBits, sc.TIDBits))
+	}
+	if sc.DisableMultibyteOpt {
+		opts = append(opts, clean.WithoutMultibyteOpt())
+	}
+	if reg != nil {
+		opts = append(opts, clean.WithMetrics(reg))
+	}
+	return opts
+}
+
+// sessionRegistry returns a fresh per-run registry for metric-enabled
+// sessions, nil otherwise. Each run gets its own: the registry is
+// single-threaded and runs fan out.
+func sessionRegistry(sc apiv1.SessionConfig) *clean.Metrics {
+	if !sc.Metrics {
+		return nil
+	}
+	return clean.NewMetrics()
+}
+
+func errorResult(seed int64, err error) apiv1.RunResult {
+	return apiv1.RunResult{Seed: seed, Outcome: apiv1.OutcomeError, Error: err.Error()}
+}
+
+// runProgram runs a program job once under the given seed.
+func (s *Server) runProgram(sess *session, p *prog.Program, seed int64) apiv1.RunResult {
+	reg := sessionRegistry(sess.cfg)
+	cfg, err := clean.NewConfig(s.runOptions(sess.cfg, sess.detection, seed, reg)...)
+	if err != nil {
+		return errorResult(seed, err)
+	}
+	m := clean.NewMachine(cfg)
+	root, base := p.Build(m)
+	start := time.Now()
+	runErr := m.Run(root)
+	res := apiv1.RunResult{
+		Seed:           seed,
+		Outcome:        clean.OutcomeOf(runErr),
+		FinalCounters:  m.FinalCounters(),
+		ElapsedSeconds: time.Since(start).Seconds(),
+	}
+	finishProgramResult(&res, m, base, p.Region, runErr, reg, sess, seed)
+	return res
+}
+
+// runScheduled replays a program under the sequential-composition
+// schedule — the static analyzer's witness-replay entry point. The
+// schedule fully determines the interleaving, so the result carries no
+// seed and no registry (the scheduler never consults either).
+func (s *Server) runScheduled(sess *session, p *prog.Program, schedule []int) apiv1.RunResult {
+	cfg, err := clean.NewConfig(s.runOptions(sess.cfg, sess.detection, sess.cfg.Seed, nil)...)
+	if err != nil {
+		return errorResult(0, err)
+	}
+	maxSteps := sess.cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = s.cfg.DefaultMaxSteps
+	}
+	m := machine.New(machine.Config{
+		Detector: cfg.NewDetector(),
+		Picker:   prog.SequentialPicker(schedule...),
+		Layout:   layoutOf(sess.cfg),
+		MaxSteps: maxSteps,
+	})
+	root, base := p.Build(m)
+	start := time.Now()
+	runErr := m.Run(root)
+	res := apiv1.RunResult{
+		Outcome:        clean.OutcomeOf(runErr),
+		FinalCounters:  m.FinalCounters(),
+		ElapsedSeconds: time.Since(start).Seconds(),
+	}
+	finishProgramResult(&res, m, base, p.Region, runErr, nil, sess, 0)
+	return res
+}
+
+// layoutOf mirrors the facade's epoch-layout defaulting for the one
+// entry point that builds a machine directly.
+func layoutOf(sc apiv1.SessionConfig) vclock.Layout {
+	l := vclock.DefaultLayout
+	if sc.ClockBits != 0 {
+		l.ClockBits = sc.ClockBits
+	}
+	if sc.TIDBits != 0 {
+		l.TIDBits = sc.TIDBits
+	}
+	return l
+}
+
+// finishProgramResult attaches the error/witness or the determinism hash,
+// and for metric-enabled sessions the RunReport.
+func finishProgramResult(res *apiv1.RunResult, m *clean.Machine, base uint64, region int, runErr error, reg *clean.Metrics, sess *session, seed int64) {
+	if runErr != nil {
+		res.Error = runErr.Error()
+		res.Witness = witnessOf(runErr)
+	} else {
+		res.DeterminismHash = telemetry.FormatHash(m.HashMem(base, region))
+	}
+	if reg != nil {
+		tr := telemetry.NewRunReport()
+		tr.Workload = "prog"
+		tr.Detector = sess.cfg.Detection
+		tr.Seed = seed
+		tr.DetSync = sess.cfg.DetSync
+		tr.Outcome = res.Outcome
+		tr.Error = res.Error
+		tr.OutputHash = res.DeterminismHash
+		tr.ElapsedSeconds = res.ElapsedSeconds
+		tr.Metrics = reg.Snapshot()
+		res.Report = tr.V1()
+	}
+}
+
+// runWorkload runs a benchmark stand-in job once under the given seed.
+func (s *Server) runWorkload(sess *session, w *apiv1.WorkloadSpec, seed int64) apiv1.RunResult {
+	reg := sessionRegistry(sess.cfg)
+	cfg, err := clean.NewConfig(s.runOptions(sess.cfg, sess.detection, seed, reg)...)
+	if err != nil {
+		return errorResult(seed, err)
+	}
+	scale := w.Scale
+	if scale == "" {
+		scale = "test"
+	}
+	rep, err := clean.RunWorkload(w.Name, scale, w.Variant == "modified", cfg)
+	if err != nil {
+		return errorResult(seed, err)
+	}
+	res := apiv1.RunResult{
+		Seed:           seed,
+		Outcome:        clean.OutcomeOf(rep.Err),
+		FinalCounters:  rep.FinalCounters,
+		ElapsedSeconds: rep.Elapsed.Seconds(),
+	}
+	if rep.Err != nil {
+		res.Error = rep.Err.Error()
+		res.Witness = witnessOf(rep.Err)
+	} else {
+		res.DeterminismHash = telemetry.FormatHash(rep.OutputHash)
+	}
+	if rep.Telemetry != nil {
+		res.Report = rep.Telemetry.V1()
+	}
+	return res
+}
+
+// witnessOf extracts the race witness from a run error, nil for
+// non-race failures.
+func witnessOf(err error) *apiv1.RaceWitness {
+	var re *clean.RaceError
+	if !errors.As(err, &re) {
+		return nil
+	}
+	return &apiv1.RaceWitness{
+		Kind:      re.Kind.String(),
+		Addr:      re.Addr,
+		Size:      re.Size,
+		TID:       re.TID,
+		SFR:       re.SFR,
+		PrevTID:   re.PrevTID,
+		PrevClock: re.PrevClock,
+		Detector:  re.Detector,
+	}
+}
+
+func (sess *session) v1() *apiv1.Session {
+	return &apiv1.Session{
+		Schema:        apiv1.SchemaVersion,
+		Kind:          apiv1.KindSession,
+		ID:            sess.id,
+		State:         sess.state,
+		Config:        sess.cfg,
+		JobsSubmitted: sess.submitted,
+		JobsDone:      sess.done,
+	}
+}
+
+// v1 renders the job document. Caller holds s.mu (or the job is done,
+// after which runs/state no longer change).
+func (j *job) v1() *apiv1.Job {
+	doc := &apiv1.Job{
+		Schema:  apiv1.SchemaVersion,
+		Kind:    apiv1.KindJob,
+		ID:      j.id,
+		Session: j.sess.id,
+		State:   j.state,
+		Spec:    j.spec,
+	}
+	doc.Runs = append(doc.Runs, j.runs...)
+	return doc
+}

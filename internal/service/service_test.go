@@ -1,0 +1,380 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	clean "repro"
+	apiv1 "repro/api/v1"
+	"repro/internal/prog"
+	"repro/internal/telemetry"
+)
+
+// startTestServer boots a full server (workers running) behind an
+// httptest listener and returns a client for it.
+func startTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(Handler(srv))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		ts.Close()
+	})
+	return srv, NewClient(ts.URL)
+}
+
+// TestWitnessMatchesInProcess is the acceptance check: a racy litmus
+// submitted over HTTP yields a v1 race witness byte-identical to the
+// witness the same configuration produces in-process.
+func TestWitnessMatchesInProcess(t *testing.T) {
+	ctx := context.Background()
+	_, c := startTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionCLEAN, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Run(ctx, sess.ID, apiv1.JobSpec{Litmus: "waw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != apiv1.JobDone || len(job.Runs) != 1 {
+		t.Fatalf("job state %q with %d runs, want done with 1", job.State, len(job.Runs))
+	}
+	res := job.Runs[0]
+	if res.Outcome != apiv1.OutcomeRaceException {
+		t.Fatalf("outcome %q (%s), want race-exception", res.Outcome, res.Error)
+	}
+
+	// The same run, in process, through the same option constructors.
+	cfg, err := clean.NewConfig(clean.WithDetection(clean.DetectCLEAN), clean.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := clean.NewMachine(cfg)
+	root, _ := prog.LitmusByName("waw").P.Build(m)
+	runErr := m.Run(root)
+	want := witnessOf(runErr)
+	if want == nil {
+		t.Fatalf("in-process run did not race: %v", runErr)
+	}
+
+	gotJSON, _ := apiv1.Encode(res.Witness)
+	wantJSON, _ := apiv1.Encode(want)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("remote witness differs from in-process witness:\nremote: %s\nlocal:  %s", gotJSON, wantJSON)
+	}
+	if res.Error != runErr.Error() {
+		t.Errorf("remote error %q, in-process %q", res.Error, runErr.Error())
+	}
+}
+
+// TestDeterminismHashMatchesInProcess checks the second half of the
+// acceptance criterion: under deterministic sync, every remote seed's
+// determinism hash equals the in-process hash, byte for byte.
+func TestDeterminismHashMatchesInProcess(t *testing.T) {
+	ctx := context.Background()
+	_, c := startTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	lit := prog.LitmusByName("locked-counter")
+	cfg, err := clean.NewConfig(
+		clean.WithDetection(clean.DetectCLEAN),
+		clean.WithDeterministicSync(true),
+		clean.WithSeed(0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := clean.NewMachine(cfg)
+	root, base := lit.P.Build(m)
+	if err := m.Run(root); err != nil {
+		t.Fatalf("in-process run: %v", err)
+	}
+	want := telemetry.FormatHash(m.HashMem(base, lit.P.Region))
+
+	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{
+		Detection: apiv1.DetectionCLEAN, Seed: 0, DetSync: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Run(ctx, sess.ID, apiv1.JobSpec{Litmus: "locked-counter", Seeds: []int64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(job.Runs))
+	}
+	for _, res := range job.Runs {
+		if res.Outcome != apiv1.OutcomeCompleted {
+			t.Fatalf("seed %d: outcome %q (%s)", res.Seed, res.Outcome, res.Error)
+		}
+		if res.DeterminismHash != want {
+			t.Errorf("seed %d: determinism hash %s, in-process %s", res.Seed, res.DeterminismHash, want)
+		}
+	}
+}
+
+// TestWorkloadJob runs a benchmark stand-in remotely with metrics and
+// checks the hash against clean.RunWorkload plus the report's presence.
+func TestWorkloadJob(t *testing.T) {
+	ctx := context.Background()
+	_, c := startTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	cfg, err := clean.NewConfig(
+		clean.WithDetection(clean.DetectCLEAN),
+		clean.WithDeterministicSync(true),
+		clean.WithSeed(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := clean.RunWorkload("fft", "test", true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Err != nil {
+		t.Fatalf("in-process fft: %v", rep.Err)
+	}
+	want := telemetry.FormatHash(rep.OutputHash)
+
+	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{
+		Detection: apiv1.DetectionCLEAN, Seed: 1, DetSync: true, Metrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Run(ctx, sess.ID, apiv1.JobSpec{
+		Workload: &apiv1.WorkloadSpec{Name: "fft", Scale: "test", Variant: "modified"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := job.Runs[0]
+	if res.Outcome != apiv1.OutcomeCompleted {
+		t.Fatalf("outcome %q (%s)", res.Outcome, res.Error)
+	}
+	if res.DeterminismHash != want {
+		t.Errorf("remote hash %s, in-process %s", res.DeterminismHash, want)
+	}
+	if res.Report == nil {
+		t.Fatal("metrics session returned no report")
+	}
+	if res.Report.Kind != apiv1.KindRunReport || res.Report.OutputHash != want {
+		t.Errorf("report kind %q hash %s, want %q %s",
+			res.Report.Kind, res.Report.OutputHash, apiv1.KindRunReport, want)
+	}
+}
+
+// TestScheduledReplay drives the witness-replay schedules: on the
+// raw-war litmus, write-then-read raises RAW, read-then-write completes
+// (WAR is tolerated by design).
+func TestScheduledReplay(t *testing.T) {
+	ctx := context.Background()
+	_, c := startTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionCLEAN, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := c.Run(ctx, sess.ID, apiv1.JobSpec{Litmus: "raw-war", Schedule: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := raw.Runs[0]; res.Outcome != apiv1.OutcomeRaceException ||
+		res.Witness == nil || res.Witness.Kind != "RAW" {
+		t.Errorf("schedule [0,1]: outcome %q witness %+v, want RAW race", res.Outcome, res.Witness)
+	}
+	war, err := c.Run(ctx, sess.ID, apiv1.JobSpec{Litmus: "raw-war", Schedule: []int{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := war.Runs[0]; res.Outcome != apiv1.OutcomeCompleted || res.DeterminismHash == "" {
+		t.Errorf("schedule [1,0]: outcome %q (%s), want completed with hash", res.Outcome, res.Error)
+	}
+}
+
+// TestBackpressure fills the queue of a server whose workers never start
+// and checks the 429 + Retry-After contract at the HTTP layer.
+func TestBackpressure(t *testing.T) {
+	ctx := context.Background()
+	srv := newServer(Config{Workers: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
+	ts := httptest.NewServer(Handler(srv))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionNone, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, sess.ID, apiv1.JobSpec{Litmus: "waw"}); err != nil {
+		t.Fatalf("first submission should queue: %v", err)
+	}
+
+	// The queue (depth 1, no workers) is now full.
+	req := apiv1.SubmitJobRequest{Schema: apiv1.SchemaVersion, Job: apiv1.JobSpec{Litmus: "waw"}}
+	body, _ := apiv1.Encode(req)
+	resp, err := http.Post(ts.URL+"/v1/sessions/"+sess.ID+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After header %q, want %q", ra, "2")
+	}
+
+	// The client surfaces the same rejection as a typed *v1.Error.
+	_, err = c.Submit(ctx, sess.ID, apiv1.JobSpec{Litmus: "waw"})
+	var apiErr *apiv1.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("client error %v, want *v1.Error with status 429", err)
+	}
+	if apiErr.RetryAfterSeconds != 2 {
+		t.Errorf("RetryAfterSeconds %d, want 2", apiErr.RetryAfterSeconds)
+	}
+}
+
+// slowSpec builds a program job large enough to keep a worker busy for
+// a macroscopic moment: every op is one scheduler dispatch.
+func slowSpec(t *testing.T) apiv1.JobSpec {
+	t.Helper()
+	p := &prog.Program{Region: 8, Locks: 0, Threads: make([][]prog.Op, 2)}
+	for th := range p.Threads {
+		ops := make([]prog.Op, 50_000)
+		for i := range ops {
+			ops[i] = prog.Op{Kind: prog.Work, Work: 1}
+		}
+		p.Threads[th] = ops
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return apiv1.JobSpec{Program: p.String()}
+}
+
+// TestGracefulDrain checks the SIGTERM path cmd/cleand wires up: drain
+// stops intake, the in-flight job completes, and its result stays
+// readable.
+func TestGracefulDrain(t *testing.T) {
+	ctx := context.Background()
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(Handler(srv))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionNone, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Submit(ctx, sess.ID, slowSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		dctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		drained <- srv.Drain(dctx)
+	}()
+
+	// Drain flips the flag before waiting; once health reports draining,
+	// new submissions must be rejected even though a job is in flight.
+	for {
+		h, err := c.Health(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Status == "draining" {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.Submit(ctx, sess.ID, apiv1.JobSpec{Litmus: "waw"}); err == nil {
+		t.Fatal("submission during drain succeeded, want 503")
+	} else {
+		var apiErr *apiv1.Error
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+			t.Fatalf("drain rejection %v, want *v1.Error with status 503", err)
+		}
+	}
+
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// The in-flight job finished during the drain and is still readable.
+	done, err := c.Job(ctx, sess.ID, job.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != apiv1.JobDone {
+		t.Fatalf("after drain, job state %q, want done", done.State)
+	}
+	if res := done.Runs[0]; res.Outcome != apiv1.OutcomeCompleted {
+		t.Errorf("drained job outcome %q (%s), want completed", res.Outcome, res.Error)
+	}
+}
+
+// TestRequestValidation sweeps the 4xx vocabulary.
+func TestRequestValidation(t *testing.T) {
+	ctx := context.Background()
+	_, c := startTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	status := func(err error) int {
+		var apiErr *apiv1.Error
+		if errors.As(err, &apiErr) {
+			return apiErr.Status
+		}
+		t.Fatalf("expected *v1.Error, got %v", err)
+		return 0
+	}
+
+	if _, err := c.CreateSession(ctx, apiv1.SessionConfig{}); status(err) != 400 {
+		t.Errorf("empty detection: %v, want 400", err)
+	}
+	if _, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: "hbfull"}); status(err) != 400 {
+		t.Errorf("unknown detector: %v, want 400", err)
+	}
+	if _, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: "clean", ClockBits: 5}); status(err) != 400 {
+		t.Errorf("half layout override: %v, want 400", err)
+	}
+	if _, err := c.Session(ctx, "s-999"); status(err) != 404 {
+		t.Errorf("unknown session: want 404")
+	}
+
+	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionNone, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, sess.ID, apiv1.JobSpec{Litmus: "no-such-litmus"}); status(err) != 400 {
+		t.Errorf("unknown litmus: want 400")
+	}
+	if _, err := c.Submit(ctx, sess.ID, apiv1.JobSpec{Program: "region 8\n"}); status(err) != 400 {
+		t.Errorf("malformed program: want 400")
+	}
+	if _, err := c.Submit(ctx, sess.ID, apiv1.JobSpec{Litmus: "waw", Schedule: []int{7}}); status(err) != 400 {
+		t.Errorf("out-of-range schedule worker: want 400")
+	}
+	if _, err := c.Job(ctx, sess.ID, "j-999", 0); status(err) != 404 {
+		t.Errorf("unknown job: want 404")
+	}
+
+	if _, err := c.CloseSession(ctx, sess.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, sess.ID, apiv1.JobSpec{Litmus: "waw"}); status(err) != 409 {
+		t.Errorf("closed session: want 409")
+	}
+}

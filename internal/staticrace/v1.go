@@ -1,0 +1,32 @@
+package staticrace
+
+// The wire form of a static analysis: the same schema-versioned run-report
+// document the dynamic tools emit, with staticrace.* counters. cmd/cleanvet
+// serializes through this so its -json output is the published api/v1
+// shape, and the root golden test pins the bytes.
+
+import (
+	apiv1 "repro/api/v1"
+	"repro/internal/prog"
+)
+
+// V1Report renders an analysis as an api/v1 run report: identity from
+// desc, the verdict in the variant field, and the shape/pair counts as
+// staticrace.* counters.
+func V1Report(desc string, p *prog.Program, rep *Report) *apiv1.RunReport {
+	out := apiv1.NewRunReport()
+	out.Workload = desc
+	out.Outcome = apiv1.OutcomeCompleted
+	out.Detector = "staticrace"
+	out.Variant = rep.Verdict().String()
+	rf, may, must := rep.Counts()
+	out.Metrics = apiv1.MetricsSnapshot{Counters: map[string]uint64{
+		"staticrace.threads":              uint64(len(p.Threads)),
+		"staticrace.ops":                  uint64(p.NumOps()),
+		"staticrace.accesses":             uint64(len(rep.Accesses)),
+		"staticrace.pairs.lock_protected": uint64(rf),
+		"staticrace.pairs.may_race":       uint64(may),
+		"staticrace.pairs.must_race":      uint64(must),
+	}}
+	return out
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+// This file bridges the internal telemetry documents onto the public wire
+// contract (api/v1). The two RunReport types are field-for-field identical
+// — api/v1 is the published shape of the document this package has always
+// written — and the compile-time schema check below plus the golden-file
+// tests in the repository root keep them from drifting apart.
+
+import (
+	apiv1 "repro/api/v1"
+)
+
+// The wire package and the telemetry layer stamp the same schema version;
+// a drift is a build error, not a runtime surprise.
+var (
+	_ [SchemaVersion - apiv1.SchemaVersion]struct{}
+	_ [apiv1.SchemaVersion - SchemaVersion]struct{}
+)
+
+// V1 converts the snapshot to its wire representation.
+func (s Snapshot) V1() apiv1.MetricsSnapshot {
+	out := apiv1.MetricsSnapshot{Counters: s.Counters, Gauges: s.Gauges}
+	if len(s.Histograms) > 0 {
+		out.Histograms = make(map[string]apiv1.HistogramSnapshot, len(s.Histograms))
+		for name, h := range s.Histograms {
+			out.Histograms[name] = apiv1.HistogramSnapshot{
+				Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max, Mean: h.Mean,
+				P50: h.P50, P95: h.P95, P99: h.P99,
+				Bounds: h.Bounds, Counts: h.Counts,
+			}
+		}
+	}
+	return out
+}
+
+// V1 converts the report to its wire representation. The encoded bytes of
+// the two forms are identical.
+func (r *RunReport) V1() *apiv1.RunReport {
+	if r == nil {
+		return nil
+	}
+	return &apiv1.RunReport{
+		Schema:         r.Schema,
+		Kind:           r.Kind,
+		Workload:       r.Workload,
+		Scale:          r.Scale,
+		Variant:        r.Variant,
+		Detector:       r.Detector,
+		Seed:           r.Seed,
+		DetSync:        r.DetSync,
+		Outcome:        r.Outcome,
+		Error:          r.Error,
+		ElapsedSeconds: r.ElapsedSeconds,
+		OutputHash:     r.OutputHash,
+		Metrics:        r.Metrics.V1(),
+	}
+}

@@ -1,0 +1,150 @@
+package clean
+
+// Functional options over Config: the one way the facade, the CLIs, the
+// experiment harness and the detection service build machine
+// configurations. Direct struct-literal construction of Config keeps
+// working (and the test suite pins that), but it validates nothing; the
+// option constructors reject the two silent misconfigurations the literal
+// form allowed — an out-of-range detection mode defaulting to "no
+// detection", and a schedule-dependent run silently inheriting seed 0.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Option configures one aspect of a Config; apply a set of them with
+// NewConfig or New.
+type Option func(*Config)
+
+// WithDetection selects the race detector. Every configuration must state
+// its detection mode explicitly — DetectNone is a choice, not a default.
+func WithDetection(d Detection) Option {
+	return func(c *Config) { c.Detection = d; c.detectionSet = true }
+}
+
+// WithSeed fixes the scheduler seed. Stating WithSeed(0) is how a
+// schedule-dependent run asks for the seed-0 interleaving explicitly.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed; c.seedSet = true }
+}
+
+// WithDeterministicSync toggles Kendo deterministic synchronization; with
+// it on, completed executions do not depend on the seed.
+func WithDeterministicSync(on bool) Option {
+	return func(c *Config) { c.DeterministicSync = on }
+}
+
+// WithMetrics attaches a metric registry to the run.
+func WithMetrics(m *Metrics) Option {
+	return func(c *Config) { c.Metrics = m }
+}
+
+// WithTimeline attaches a timeline recorder to the run.
+func WithTimeline(tl *Timeline) Option {
+	return func(c *Config) { c.Timeline = tl }
+}
+
+// WithTracer attaches an event-stream tracer (see internal/trace).
+func WithTracer(tr Tracer) Option {
+	return func(c *Config) { c.Tracer = tr }
+}
+
+// WithFaultInjector attaches a deterministic fault injector.
+func WithFaultInjector(in Injector) Option {
+	return func(c *Config) { c.FaultInjector = in }
+}
+
+// WithMaxSteps bounds the scheduler's dispatch budget (0 = unbounded);
+// exhausting it stops the run with a *LivelockError.
+func WithMaxSteps(n uint64) Option {
+	return func(c *Config) { c.MaxSteps = n }
+}
+
+// WithYieldEvery coarsens scheduling granularity to one scheduling point
+// per n operations (1 = finest interleaving).
+func WithYieldEvery(n int) Option {
+	return func(c *Config) { c.YieldEvery = n }
+}
+
+// WithEpochLayout overrides the 32-bit epoch split (clock bits + thread-id
+// bits); narrow clocks exercise the deterministic rollover reset of §4.5.
+func WithEpochLayout(clockBits, tidBits uint) Option {
+	return func(c *Config) { c.ClockBits, c.TIDBits = clockBits, tidBits }
+}
+
+// WithoutMultibyteOpt disables the §4.4 vectorized multi-byte check
+// (CLEAN only).
+func WithoutMultibyteOpt() Option {
+	return func(c *Config) { c.DisableMultibyteOpt = true }
+}
+
+// NewConfig applies the options and validates the result. It rejects the
+// ambiguities the zero Config hides: the detection mode must be stated
+// (an out-of-range value is an error, not the baseline), and a run whose
+// result can depend on the interleaving — one without deterministic
+// synchronization — must state its seed.
+func NewConfig(opts ...Option) (Config, error) {
+	var c Config
+	if len(opts) == 0 {
+		return Config{}, errors.New("clean: empty configuration is ambiguous: state the detector and seed explicitly, e.g. NewConfig(WithDetection(DetectNone), WithSeed(0))")
+	}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if !c.detectionSet {
+		return Config{}, errors.New("clean: detection mode unspecified: a zero Detection silently meant no detection; say WithDetection(DetectNone) to request the baseline")
+	}
+	if !c.seedSet && !c.DeterministicSync {
+		return Config{}, errors.New("clean: seed unspecified without deterministic sync: the schedule would silently default to seed 0; say WithSeed(0) to request that interleaving, or WithDeterministicSync(true)")
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// New builds a validated machine: NewConfig + NewMachine with the error
+// surfaced at construction instead of deferred to Run.
+func New(opts ...Option) (*Machine, error) {
+	cfg, err := NewConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return NewMachine(cfg), nil
+}
+
+// Validate checks the configuration's value ranges. The zero Config is
+// valid (the undetected baseline, for struct-literal compatibility);
+// NewConfig layers the explicitness requirements on top.
+func (c Config) Validate() error {
+	switch c.Detection {
+	case DetectNone, DetectCLEAN, DetectFastTrack, DetectTSanLite:
+	default:
+		return fmt.Errorf("clean: invalid detection mode %d (want DetectNone, DetectCLEAN, DetectFastTrack or DetectTSanLite)", int(c.Detection))
+	}
+	if c.YieldEvery < 0 {
+		return fmt.Errorf("clean: negative YieldEvery %d", c.YieldEvery)
+	}
+	if (c.ClockBits != 0) != (c.TIDBits != 0) {
+		return fmt.Errorf("clean: ClockBits and TIDBits must be overridden together (got %d/%d)", c.ClockBits, c.TIDBits)
+	}
+	if err := c.layout().Validate(); err != nil {
+		return fmt.Errorf("clean: %w", err)
+	}
+	if c.DisableMultibyteOpt && c.Detection != DetectCLEAN {
+		return fmt.Errorf("clean: DisableMultibyteOpt applies only to DetectCLEAN (detection is %v)", c.Detection)
+	}
+	return nil
+}
+
+// ParseDetection maps a detector name ("none", "clean", "fasttrack",
+// "tsanlite") to its Detection value; CLIs and the service share it.
+func ParseDetection(name string) (Detection, error) {
+	for _, d := range []Detection{DetectNone, DetectCLEAN, DetectFastTrack, DetectTSanLite} {
+		if d.String() == name {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("clean: unknown detector %q (want none, clean, fasttrack or tsanlite)", name)
+}

@@ -1,0 +1,95 @@
+package clean
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNewConfigRequiresExplicitChoices(t *testing.T) {
+	if _, err := NewConfig(); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("empty NewConfig: got %v, want ambiguity error", err)
+	}
+	if _, err := NewConfig(WithSeed(1)); err == nil || !strings.Contains(err.Error(), "detection mode unspecified") {
+		t.Errorf("missing detection: got %v", err)
+	}
+	if _, err := NewConfig(WithDetection(DetectCLEAN)); err == nil || !strings.Contains(err.Error(), "seed unspecified") {
+		t.Errorf("missing seed: got %v", err)
+	}
+	// Deterministic sync makes completed results seed-independent, so the
+	// seed may stay unstated.
+	if _, err := NewConfig(WithDetection(DetectCLEAN), WithDeterministicSync(true)); err != nil {
+		t.Errorf("detsync without seed: %v", err)
+	}
+	cfg, err := NewConfig(WithDetection(DetectFastTrack), WithSeed(0), WithYieldEvery(32),
+		WithMaxSteps(1000), WithEpochLayout(10, 8))
+	if err != nil {
+		t.Fatalf("full NewConfig: %v", err)
+	}
+	if cfg.Detection != DetectFastTrack || cfg.Seed != 0 || cfg.YieldEvery != 32 ||
+		cfg.MaxSteps != 1000 || cfg.ClockBits != 10 || cfg.TIDBits != 8 {
+		t.Errorf("options not applied: %+v", cfg)
+	}
+}
+
+func TestConfigValidateRanges(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero Config must stay valid for struct-literal compatibility: %v", err)
+	}
+	if err := (Config{Detection: Detection(42)}).Validate(); err == nil || !strings.Contains(err.Error(), "invalid detection mode") {
+		t.Errorf("invalid detection: got %v", err)
+	}
+	if err := (Config{ClockBits: 12}).Validate(); err == nil {
+		t.Error("lone ClockBits override must be rejected")
+	}
+	if err := (Config{ClockBits: 40, TIDBits: 8}).Validate(); err == nil {
+		t.Error("oversized epoch layout must be rejected")
+	}
+	if err := (Config{DisableMultibyteOpt: true}).Validate(); err == nil {
+		t.Error("DisableMultibyteOpt without DetectCLEAN must be rejected")
+	}
+}
+
+func TestNewMachineSurfacesInvalidConfigOnRun(t *testing.T) {
+	m := NewMachine(Config{Detection: Detection(42)})
+	err := m.Run(func(t *Thread) {})
+	var merr *MachineError
+	if !errors.As(err, &merr) || merr.Kind != ErrConfig {
+		t.Fatalf("Run = %v, want *MachineError with ErrConfig", err)
+	}
+	if !strings.Contains(merr.Error(), "invalid detection mode") {
+		t.Errorf("error %q does not name the invalid detection mode", merr.Error())
+	}
+}
+
+func TestNewValidatedConstructor(t *testing.T) {
+	if _, err := New(WithDetection(Detection(42)), WithSeed(0)); err == nil {
+		t.Error("New must reject an invalid detection mode eagerly")
+	}
+	m, err := New(WithDetection(DetectCLEAN), WithSeed(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := m.AllocShared(8, 8)
+	runErr := m.Run(func(th *Thread) {
+		child := th.Spawn(func(c *Thread) { c.StoreU64(x, 1) })
+		th.StoreU64(x, 2)
+		th.Join(child)
+	})
+	var re *RaceError
+	if !errors.As(runErr, &re) || re.Kind != WAW {
+		t.Fatalf("Run = %v, want WAW race exception", runErr)
+	}
+}
+
+func TestParseDetection(t *testing.T) {
+	for _, d := range []Detection{DetectNone, DetectCLEAN, DetectFastTrack, DetectTSanLite} {
+		got, err := ParseDetection(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseDetection(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseDetection("helgrind"); err == nil {
+		t.Error("ParseDetection must reject unknown names")
+	}
+}
