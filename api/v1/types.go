@@ -198,8 +198,13 @@ type WorkloadSpec struct {
 	Variant string `json:"variant"`
 }
 
-// JobSpec describes one detection job. Exactly one of Program, Litmus and
-// Workload must be set.
+// MaxGoSourceBytes caps JobSpec.GoSource. The front end supports small
+// litmus-style programs; anything larger is a client error, rejected
+// before it reaches a parser.
+const MaxGoSourceBytes = 1 << 20
+
+// JobSpec describes one detection job. Exactly one of Program, Litmus,
+// Workload and GoSource must be set.
 type JobSpec struct {
 	// Program is a program in the internal/prog text format ("region N" /
 	// "locks N" / "thread" / per-op lines).
@@ -208,6 +213,10 @@ type JobSpec struct {
 	Litmus string `json:"litmus,omitempty"`
 	// Workload names a benchmark stand-in.
 	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// GoSource is Go source text in the gofront-supported subset; the
+	// server lowers it to a program before running. Parse or lowering
+	// failures reject the submission with positioned diagnostics.
+	GoSource string `json:"gosource,omitempty"`
 	// Schedule, for program/litmus jobs, forces the sequential-composition
 	// schedule that runs the listed workers in order (the static
 	// analyzer's witness-replay schedule) instead of the seeded scheduler.
@@ -360,8 +369,14 @@ func (s *JobSpec) Validate() error {
 	if s.Workload != nil {
 		sources++
 	}
+	if s.GoSource != "" {
+		sources++
+	}
 	if sources != 1 {
-		return fmt.Errorf("api/v1: job must set exactly one of program, litmus, workload (got %d)", sources)
+		return fmt.Errorf("api/v1: job must set exactly one of program, litmus, workload, gosource (got %d)", sources)
+	}
+	if len(s.GoSource) > MaxGoSourceBytes {
+		return fmt.Errorf("api/v1: gosource is %d bytes, cap is %d", len(s.GoSource), MaxGoSourceBytes)
 	}
 	if s.Workload != nil && len(s.Schedule) > 0 {
 		return fmt.Errorf("api/v1: schedule applies only to program/litmus jobs")

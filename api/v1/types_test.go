@@ -57,6 +57,10 @@ func TestJobSpecValidate(t *testing.T) {
 		{"schedule", JobSpec{Litmus: "waw", Schedule: []int{0, 1}}, true},
 		{"schedule and seeds", JobSpec{Litmus: "waw", Schedule: []int{0}, Seeds: []int64{1}}, false},
 		{"seeds", JobSpec{Litmus: "waw", Seeds: []int64{1, 2, 3}}, true},
+		{"gosource", JobSpec{GoSource: "package main\nfunc main() {}\n"}, true},
+		{"gosource and litmus", JobSpec{GoSource: "package main", Litmus: "waw"}, false},
+		{"gosource oversized", JobSpec{GoSource: strings.Repeat("/", MaxGoSourceBytes+1)}, false},
+		{"gosource with schedule", JobSpec{GoSource: "package main\nfunc main() {}\n", Schedule: []int{0}}, true},
 	}
 	for _, c := range cases {
 		err := c.spec.Validate()

@@ -12,6 +12,7 @@
 //	cleanvet -litmus locked-counter -confirm   # race-freedom proof, checked
 //	cleanvet -gen -seed 7 -threads 3 -ops 8    # vet a generated program
 //	cleanvet -f prog.txt                       # vet a program file (- = stdin)
+//	cleanvet -go racy.go                       # vet real Go source (gofront)
 //	cleanvet -list                             # show the litmus registry
 //
 // Exit status: 0 RaceFree, 2 MustRace, 3 MayRace, 1 on errors (including
@@ -27,6 +28,7 @@ import (
 
 	apiv1 "repro/api/v1"
 	"repro/internal/explore"
+	"repro/internal/gofront"
 	"repro/internal/machine"
 	"repro/internal/oracle"
 	"repro/internal/prog"
@@ -40,6 +42,7 @@ func main() {
 	var (
 		litmus  = flag.String("litmus", "", "analyze a named litmus program (see -list)")
 		file    = flag.String("f", "", "analyze a program file in the prog text format (- for stdin)")
+		goFile  = flag.String("go", "", "analyze a Go source file, lowered through the gofront front end")
 		gen     = flag.Bool("gen", false, "analyze a generated program (progen)")
 		seed    = flag.Int64("seed", 0, "generator seed (with -gen)")
 		threads = flag.Int("threads", 3, "generator worker threads (with -gen)")
@@ -62,7 +65,7 @@ func main() {
 		return
 	}
 
-	p, desc := loadProgram(*litmus, *file, *gen, progen.Config{
+	p, desc := loadProgram(*litmus, *file, *goFile, *gen, progen.Config{
 		Seed: *seed, Threads: *threads, OpsPerThread: *ops, Region: *region, Locks: *locks,
 	})
 	if err := p.Validate(); err != nil {
@@ -93,18 +96,31 @@ func main() {
 	}
 }
 
-// loadProgram resolves exactly one of the three program sources.
-func loadProgram(litmus, file string, gen bool, cfg progen.Config) (*prog.Program, string) {
+// loadProgram resolves exactly one of the four program sources.
+func loadProgram(litmus, file, goFile string, gen bool, cfg progen.Config) (*prog.Program, string) {
 	sources := 0
-	for _, on := range []bool{litmus != "", file != "", gen} {
+	for _, on := range []bool{litmus != "", file != "", goFile != "", gen} {
 		if on {
 			sources++
 		}
 	}
 	if sources != 1 {
-		log.Fatal("pick exactly one of -litmus, -f, -gen (or -list)")
+		log.Fatal("pick exactly one of -litmus, -f, -go, -gen (or -list)")
 	}
 	switch {
+	case goFile != "":
+		gp, err := gofront.Load(goFile)
+		if err != nil {
+			var de *gofront.DiagError
+			if errors.As(err, &de) {
+				for _, d := range de.Diags {
+					fmt.Fprintf(os.Stderr, "%s\n", d)
+				}
+				log.Fatalf("%s: %d unsupported construct(s)", goFile, len(de.Diags))
+			}
+			log.Fatal(err)
+		}
+		return gp.Prog, fmt.Sprintf("go %s", goFile)
 	case litmus != "":
 		l := prog.LitmusByName(litmus)
 		if l == nil {

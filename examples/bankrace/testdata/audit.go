@@ -1,0 +1,24 @@
+// The timing-dependent half of CLEAN's execution model (§3.1), as real
+// Go: an auditor goroutine reads two account balances while main moves
+// money between them with no synchronization. Read after write is a RAW
+// race and raises an exception; read before write is a WAR race CLEAN
+// deliberately tolerates, and the run completes with a consistent
+// pre-transfer snapshot.
+package main
+
+var a, b int64
+
+var done = make(chan bool)
+
+func audit() {
+	_ = a
+	_ = b
+	done <- true
+}
+
+func main() {
+	go audit()
+	a = a - 100
+	b = b + 100
+	<-done
+}

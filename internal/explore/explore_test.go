@@ -122,6 +122,38 @@ func TestExhaustiveLockedProgramRaceFree(t *testing.T) {
 	}
 }
 
+// TestExhaustiveChanHandoffRaceFree upgrades the chan-handoff litmus's
+// Racy=false flag to a proof: over the FULL interleaving space the
+// unbuffered-channel publish is never racy and never deadlocks.
+func TestExhaustiveChanHandoffRaceFree(t *testing.T) {
+	res := RunProgram(Options{Detector: cleanDet}, litmus(t, "chan-handoff"), nil)
+	if !res.Exhaustive() {
+		t.Fatalf("space truncated at %d runs", res.Runs)
+	}
+	if res.Completed != res.Runs || res.Deadlocks != 0 {
+		t.Fatalf("handoff not clean in every interleaving: %+v", res)
+	}
+	if res.Runs < 2 {
+		t.Fatalf("only %d interleavings; channel blocking not exercised", res.Runs)
+	}
+}
+
+// TestExhaustiveChanBufferedRaces: the buffered variant loses the
+// rendezvous edge back to the sender, and the race manifests somewhere
+// in the space (and every interleaving still terminates).
+func TestExhaustiveChanBufferedRaces(t *testing.T) {
+	res := RunProgram(Options{Detector: cleanDet}, litmus(t, "chan-buffered-racy"), nil)
+	if !res.Exhaustive() {
+		t.Fatalf("space truncated at %d runs", res.Runs)
+	}
+	if raced := res.Runs - res.Completed - res.Deadlocks; raced == 0 {
+		t.Fatalf("no interleaving raced: %+v", res)
+	}
+	if res.Deadlocks != 0 {
+		t.Fatalf("balanced send/recv deadlocked: %+v", res)
+	}
+}
+
 // TestExhaustiveKendoDeterminism: every completed interleaving of a
 // deterministic-sync program yields the same memory image.
 func TestExhaustiveKendoDeterminism(t *testing.T) {

@@ -1,0 +1,188 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestChanHandoffPublishesValue: the message-passing idiom — write, send,
+// recv, read — transfers the value in every schedule, without locks.
+func TestChanHandoffPublishesValue(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		m := New(Config{Seed: seed})
+		a := m.AllocShared(8, 8)
+		c := m.NewChan(0)
+		var got uint64
+		err := m.Run(func(th *Thread) {
+			reader := th.Spawn(func(r *Thread) {
+				r.Recv(c)
+				got = r.LoadU64(a)
+			})
+			th.StoreU64(a, 0xD00D)
+			th.Send(c)
+			th.Join(reader)
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got != 0xD00D {
+			t.Fatalf("seed %d: reader saw %#x, want 0xD00D", seed, got)
+		}
+	}
+}
+
+// TestChanRendezvousOrdersBothWays: with an unbuffered channel the
+// receive also happens-before the send's completion, so the sender can
+// safely read what the receiver wrote before receiving.
+func TestChanRendezvousOrdersBothWays(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		m := New(Config{Seed: seed})
+		a := m.AllocShared(8, 8)
+		c := m.NewChan(0)
+		var got uint64
+		err := m.Run(func(th *Thread) {
+			reader := th.Spawn(func(r *Thread) {
+				r.StoreU64(a, 0xBEEF)
+				r.Recv(c)
+			})
+			th.Send(c) // completes only after the receive
+			got = th.LoadU64(a)
+			th.Join(reader)
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got != 0xBEEF {
+			t.Fatalf("seed %d: sender saw %#x, want 0xBEEF", seed, got)
+		}
+	}
+}
+
+// TestChanBufferedSendDoesNotWait: a send on a buffered channel with
+// space completes without a receiver; a WaitGroup-style counter built
+// from a buffered channel joins all workers.
+func TestChanBufferedSendDoesNotWait(t *testing.T) {
+	m := New(Config{Seed: 7})
+	c := m.NewChan(1)
+	if err := m.Run(func(th *Thread) {
+		th.Send(c) // must not block: capacity 1, zero receivers
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 3
+	m2 := New(Config{Seed: 7})
+	a := m2.AllocShared(8*workers, 8)
+	wg := m2.NewChan(workers)
+	if err := m2.Run(func(th *Thread) {
+		for w := 0; w < workers; w++ {
+			w := w
+			th.Spawn(func(c2 *Thread) {
+				c2.StoreU64(a+uint64(8*w), uint64(w+1))
+				c2.Send(wg)
+			})
+		}
+		for w := 0; w < workers; w++ {
+			th.Recv(wg) // wg.Wait: one receive per Done
+		}
+		for w := 0; w < workers; w++ {
+			if got := th.LoadU64(a + uint64(8*w)); got != uint64(w+1) {
+				t.Errorf("slot %d = %d, want %d", w, got, w+1)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Note: the spawned threads are never joined above — Run's own exit
+	// barrier covers them; what matters is Wait ordered the loads.
+}
+
+// TestChanFIFOAcrossCapacity: cap-2 channel, 3 sends then 3 receives in
+// one pair of threads — sends 0 and 1 complete immediately, send 2 only
+// after receive 0 frees its slot.
+func TestChanFIFOAcrossCapacity(t *testing.T) {
+	m := New(Config{Seed: 11})
+	a := m.AllocShared(8, 8)
+	c := m.NewChan(2)
+	var sawAfterThird uint64
+	err := m.Run(func(th *Thread) {
+		recv := th.Spawn(func(r *Thread) {
+			r.StoreU64(a, 0x111)
+			r.Recv(c)
+			r.Recv(c)
+			r.Recv(c)
+		})
+		th.Send(c)
+		th.Send(c)
+		th.Send(c) // blocks until the first receive, which follows the store
+		sawAfterThird = th.LoadU64(a)
+		th.Join(recv)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawAfterThird != 0x111 {
+		t.Fatalf("sender saw %#x after third send, want 0x111", sawAfterThird)
+	}
+}
+
+// TestChanRecvDeadlockDetected: a receive with no sender parks forever;
+// the machine must report the deadlock rather than hang.
+func TestChanRecvDeadlockDetected(t *testing.T) {
+	m := New(Config{Seed: 1})
+	c := m.NewChan(0)
+	err := m.Run(func(th *Thread) {
+		th.Recv(c)
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("Run returned %v, want DeadlockError", err)
+	}
+}
+
+// TestChanWrongMachineFails: channel misuse is a structured machine
+// error, mirroring mutex misuse.
+func TestChanWrongMachineFails(t *testing.T) {
+	m1 := New(Config{})
+	m2 := New(Config{})
+	c := m2.NewChan(0)
+	err := m1.Run(func(th *Thread) {
+		th.Send(c)
+	})
+	var me *MachineError
+	if !errors.As(err, &me) || me.Kind != ErrMisuse {
+		t.Fatalf("Run returned %v, want MachineError(misuse)", err)
+	}
+}
+
+// TestKendoChanDeterministic: under DetSync, a racy-free channel program
+// produces identical final deterministic counters on every seed, like
+// locks and barriers do.
+func TestKendoChanDeterministic(t *testing.T) {
+	run := func(seed int64) []uint64 {
+		m := New(Config{Seed: seed, DetSync: true})
+		a := m.AllocShared(8, 8)
+		c := m.NewChan(0)
+		var counters []uint64
+		if err := m.Run(func(th *Thread) {
+			reader := th.Spawn(func(r *Thread) {
+				r.Recv(c)
+				r.LoadU64(a)
+			})
+			th.StoreU64(a, 5)
+			th.Send(c)
+			th.Join(reader)
+			counters = append(counters, th.DetCounter)
+		}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		return counters
+	}
+	base := run(0)
+	for seed := int64(1); seed < 5; seed++ {
+		got := run(seed)
+		if len(got) != len(base) || got[0] != base[0] {
+			t.Fatalf("seed %d counters %v, want %v", seed, got, base)
+		}
+	}
+}

@@ -57,9 +57,11 @@ const (
 	SyncJoin
 	SyncSignal
 	SyncCondWait
+	SyncChanSend
+	SyncChanRecv
 )
 
-var syncEventNames = [...]string{"acquire", "release", "barrier", "spawn", "join", "signal", "condwait"}
+var syncEventNames = [...]string{"acquire", "release", "barrier", "spawn", "join", "signal", "condwait", "send", "recv"}
 
 func (e SyncEvent) String() string {
 	if int(e) < len(syncEventNames) {
@@ -192,6 +194,7 @@ type Machine struct {
 
 	locks    []*Mutex
 	barriers []*Barrier
+	chans    []*Chan
 
 	nextObjID uint64
 	sharedSeq uint64 // ordinal of shared accesses, for fault triggers
@@ -518,6 +521,14 @@ func (m *Machine) performReset() {
 	}
 	for _, b := range m.barriers {
 		b.vc.Reset()
+	}
+	for _, c := range m.chans {
+		for i := range c.sendVCs {
+			c.sendVCs[i].Reset()
+		}
+		for i := range c.recvVCs {
+			c.recvVCs[i].Reset()
+		}
 	}
 	m.stats.Rollovers++
 	if tel := m.tel; tel != nil {

@@ -73,6 +73,24 @@ func Litmuses() []Litmus {
 			}},
 		},
 		{
+			Name: "chan-handoff",
+			Desc: "message-passing handoff: the writer publishes over an unbuffered channel before the reader looks — race-free without locks",
+			Racy: false,
+			P: &Program{Region: 8, Locks: 0, Chans: []int{0}, Threads: [][]Op{
+				{{Kind: Write, Off: 0, Size: 8}, {Kind: Send, Chan: 0}},
+				{{Kind: Recv, Chan: 0}, {Kind: Read, Off: 0, Size: 8}},
+			}},
+		},
+		{
+			Name: "chan-buffered-racy",
+			Desc: "a buffered send does not wait for the receiver: the writer's second write races with the reader's post-receive read",
+			Racy: true,
+			P: &Program{Region: 8, Locks: 0, Chans: []int{1}, Threads: [][]Op{
+				{{Kind: Send, Chan: 0}, {Kind: Write, Off: 0, Size: 8}},
+				{{Kind: Recv, Chan: 0}, {Kind: Read, Off: 0, Size: 8}},
+			}},
+		},
+		{
 			Name: "lock-shadow",
 			Desc: "an unlocked write racing with a write published only through a later critical section — the two sequential-composition witness schedules both order it, so the analyzer can only say \"may race\"",
 			Racy: true,

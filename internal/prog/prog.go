@@ -4,8 +4,9 @@
 //
 // A Program is a fixed fork/join skeleton: a root thread spawns one
 // machine thread per entry of Threads, each worker executes its straight-
-// line op list (reads, writes, lock/unlock, private work) over a shared
-// region and a fixed set of mutexes, and the root joins them all. The IR
+// line op list (reads, writes, lock/unlock, channel send/recv, private
+// work) over a shared region, a fixed set of mutexes and a fixed set of
+// Go-memory-model channels, and the root joins them all. The IR
 // is independent of any machine: Build instantiates it on a fresh
 // simulated machine, String/Parse round-trip it through a line-oriented
 // text form, and the analyses reason about it without running anything.
@@ -32,9 +33,11 @@ const (
 	Lock
 	Unlock
 	Work
+	Send
+	Recv
 )
 
-var opKindNames = [...]string{"read", "write", "lock", "unlock", "work"}
+var opKindNames = [...]string{"read", "write", "lock", "unlock", "work", "send", "recv"}
 
 func (k OpKind) String() string {
 	if int(k) < len(opKindNames) {
@@ -51,6 +54,8 @@ type Op struct {
 	Size int
 	// Lock is the mutex index of a Lock/Unlock.
 	Lock int
+	// Chan is the channel index of a Send/Recv.
+	Chan int
 	// Work is the number of private computation units of a Work op.
 	Work int
 }
@@ -61,6 +66,8 @@ func (o Op) String() string {
 		return fmt.Sprintf("%s %d %d", o.Kind, o.Off, o.Size)
 	case Lock, Unlock:
 		return fmt.Sprintf("%s %d", o.Kind, o.Lock)
+	case Send, Recv:
+		return fmt.Sprintf("%s %d", o.Kind, o.Chan)
 	default:
 		return fmt.Sprintf("work %d", o.Work)
 	}
@@ -72,6 +79,10 @@ type Program struct {
 	Region int
 	// Locks is the number of mutexes available to the workers.
 	Locks int
+	// Chans lists the workers' channels by capacity: channel c is a FIFO
+	// channel of capacity Chans[c] (0 = unbuffered rendezvous), with the
+	// Go memory model's synchronization edges (see machine.Chan).
+	Chans []int
 	// Threads holds one straight-line op list per worker thread; the
 	// implicit root thread spawns them all, performs no accesses, and
 	// joins them all.
@@ -100,6 +111,11 @@ func (p *Program) Validate() error {
 	}
 	if p.Locks < 0 {
 		return fmt.Errorf("prog: negative lock count %d", p.Locks)
+	}
+	for c, capacity := range p.Chans {
+		if capacity < 0 {
+			return fmt.Errorf("prog: channel %d has negative capacity %d", c, capacity)
+		}
 	}
 	if len(p.Threads) == 0 {
 		return fmt.Errorf("prog: no worker threads")
@@ -134,6 +150,10 @@ func (p *Program) Validate() error {
 					return fmt.Errorf("prog: thread %d op %d: unlock of lock %d not held", th, i, o.Lock)
 				}
 				delete(held, o.Lock)
+			case Send, Recv:
+				if o.Chan < 0 || o.Chan >= len(p.Chans) {
+					return fmt.Errorf("prog: thread %d op %d: channel %d out of range [0,%d)", th, i, o.Chan, len(p.Chans))
+				}
 			case Work:
 				if o.Work < 1 {
 					return fmt.Errorf("prog: thread %d op %d: work %d < 1", th, i, o.Work)
@@ -163,6 +183,10 @@ func (p *Program) Build(m *machine.Machine) (root func(*machine.Thread), base ui
 	for i := range locks {
 		locks[i] = m.NewMutex()
 	}
+	chans := make([]*machine.Chan, len(p.Chans))
+	for i, capacity := range p.Chans {
+		chans[i] = m.NewChan(capacity)
+	}
 	runOps := func(t *machine.Thread, ops []Op) {
 		for _, o := range ops {
 			switch o.Kind {
@@ -174,6 +198,10 @@ func (p *Program) Build(m *machine.Machine) (root func(*machine.Thread), base ui
 				t.Lock(locks[o.Lock])
 			case Unlock:
 				t.Unlock(locks[o.Lock])
+			case Send:
+				t.Send(chans[o.Chan])
+			case Recv:
+				t.Recv(chans[o.Chan])
 			case Work:
 				t.Work(o.Work)
 			}
@@ -254,6 +282,9 @@ func (p *Program) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "region %d\n", p.Region)
 	fmt.Fprintf(&b, "locks %d\n", p.Locks)
+	for _, capacity := range p.Chans {
+		fmt.Fprintf(&b, "chan %d\n", capacity)
+	}
 	for _, ops := range p.Threads {
 		b.WriteString("thread\n")
 		for _, o := range ops {
@@ -264,10 +295,11 @@ func (p *Program) String() string {
 }
 
 // Parse reads the textual IR form produced by String: a "region N" line,
-// a "locks N" line, then per worker a "thread" line followed by one op
-// per line ("read OFF SIZE", "write OFF SIZE", "lock L", "unlock L",
-// "work N"). Blank lines and #-comments are ignored. The parsed program
-// is validated before being returned.
+// a "locks N" line, one "chan CAP" line per channel, then per worker a
+// "thread" line followed by one op per line ("read OFF SIZE",
+// "write OFF SIZE", "lock L", "unlock L", "send C", "recv C", "work N").
+// Blank lines and #-comments are ignored. The parsed program is validated
+// before being returned.
 func Parse(r io.Reader) (*Program, error) {
 	p := &Program{}
 	sc := bufio.NewScanner(r)
@@ -297,6 +329,15 @@ func Parse(r io.Reader) (*Program, error) {
 				return fail("want \"locks N\", got %q", line)
 			}
 			sawLocks = true
+		case "chan":
+			var capacity int
+			if len(fields) != 2 || !scanInt(fields[1], &capacity) {
+				return fail("want \"chan CAP\", got %q", line)
+			}
+			if len(p.Threads) > 0 {
+				return fail("chan declaration after the first \"thread\"")
+			}
+			p.Chans = append(p.Chans, capacity)
 		case "thread":
 			if len(fields) != 1 {
 				return fail("trailing tokens after \"thread\"")
@@ -330,6 +371,20 @@ func Parse(r io.Reader) (*Program, error) {
 			}
 			th := len(p.Threads) - 1
 			p.Threads[th] = append(p.Threads[th], Op{Kind: kind, Lock: l})
+		case "send", "recv":
+			if len(p.Threads) == 0 {
+				return fail("%s before the first \"thread\"", fields[0])
+			}
+			var c int
+			if len(fields) != 2 || !scanInt(fields[1], &c) {
+				return fail("want %q, got %q", fields[0]+" C", line)
+			}
+			kind := Send
+			if fields[0] == "recv" {
+				kind = Recv
+			}
+			th := len(p.Threads) - 1
+			p.Threads[th] = append(p.Threads[th], Op{Kind: kind, Chan: c})
 		case "work":
 			if len(p.Threads) == 0 {
 				return fail("work before the first \"thread\"")

@@ -1,7 +1,8 @@
 // Package service is the long-lived CLEAN detection service behind
 // cmd/cleand: sessions carry a detection configuration, jobs submit
-// programs (internal/prog text form), named litmus tests, scripted
-// witness-replay schedules or benchmark stand-ins against it, and a
+// programs (internal/prog text form), named litmus tests, Go source in
+// the gofront-supported subset, scripted witness-replay schedules or
+// benchmark stand-ins against it, and a
 // bounded worker pool runs them through the same machine/detector stack
 // the in-process API uses. Results are api/v1 documents — race witnesses,
 // determinism hashes and, for metric-enabled sessions, full telemetry
@@ -25,6 +26,7 @@ import (
 
 	clean "repro"
 	apiv1 "repro/api/v1"
+	"repro/internal/gofront"
 	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/prog"
@@ -247,6 +249,15 @@ func (s *Server) Submit(sessionID string, spec apiv1.JobSpec) (*apiv1.Job, error
 		if p, err = prog.Parse(strings.NewReader(spec.Program)); err != nil {
 			return nil, &BadRequestError{Err: err}
 		}
+	case spec.GoSource != "":
+		// The gofront diagnostics carry file:line:column positions; the
+		// 400 envelope surfaces them verbatim so the client can fix the
+		// source without a local toolchain.
+		gp, err := gofront.LoadSource("gosource.go", []byte(spec.GoSource))
+		if err != nil {
+			return nil, &BadRequestError{Err: err}
+		}
+		p = gp.Prog
 	default: // workload
 		switch spec.Workload.Variant {
 		case "", "modified", "unmodified":

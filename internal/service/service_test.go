@@ -6,11 +6,14 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"strings"
 	"testing"
 	"time"
 
 	clean "repro"
 	apiv1 "repro/api/v1"
+	"repro/internal/gofront"
 	"repro/internal/prog"
 	"repro/internal/telemetry"
 )
@@ -376,5 +379,120 @@ func TestRequestValidation(t *testing.T) {
 	}
 	if _, err := c.Submit(ctx, sess.ID, apiv1.JobSpec{Litmus: "waw"}); status(err) != 409 {
 		t.Errorf("closed session: want 409")
+	}
+}
+
+// TestGoSourceJobMatchesInProcess is the gosource acceptance check: a
+// racy Go file submitted over HTTP is lowered server-side and yields a
+// race witness byte-identical to running the same lowering in process;
+// a race-free Go file yields the in-process determinism hash.
+func TestGoSourceJobMatchesInProcess(t *testing.T) {
+	ctx := context.Background()
+	_, c := startTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	racy, err := os.ReadFile("../../testdata/gosrc/bankrace.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionCLEAN, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Run(ctx, sess.ID, apiv1.JobSpec{GoSource: string(racy)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != apiv1.JobDone || len(job.Runs) != 1 {
+		t.Fatalf("job state %q with %d runs, want done with 1", job.State, len(job.Runs))
+	}
+	res := job.Runs[0]
+	if res.Outcome != apiv1.OutcomeRaceException {
+		t.Fatalf("outcome %q (%s), want race-exception", res.Outcome, res.Error)
+	}
+
+	// The same source, lowered and run in process under the same config.
+	gp, err := gofront.LoadSource("gosource.go", racy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := clean.NewConfig(clean.WithDetection(clean.DetectCLEAN), clean.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := clean.NewMachine(cfg)
+	root, _ := gp.Prog.Build(m)
+	runErr := m.Run(root)
+	want := witnessOf(runErr)
+	if want == nil {
+		t.Fatalf("in-process run did not race: %v", runErr)
+	}
+	gotJSON, _ := apiv1.Encode(res.Witness)
+	wantJSON, _ := apiv1.Encode(want)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("remote witness differs from in-process witness:\nremote: %s\nlocal:  %s", gotJSON, wantJSON)
+	}
+	if res.Error != runErr.Error() {
+		t.Errorf("remote error %q, in-process %q", res.Error, runErr.Error())
+	}
+
+	// Race-free source: the determinism hash must match in process.
+	free, err := os.ReadFile("../../testdata/gosrc/chanhandoff.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsess, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionCLEAN, Seed: 0, DetSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	djob, err := c.Run(ctx, dsess.ID, apiv1.JobSpec{GoSource: string(free)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres := djob.Runs[0]
+	if dres.Outcome != apiv1.OutcomeCompleted {
+		t.Fatalf("race-free outcome %q (%s)", dres.Outcome, dres.Error)
+	}
+	fp, err := gofront.LoadSource("gosource.go", free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg, err := clean.NewConfig(clean.WithDetection(clean.DetectCLEAN), clean.WithSeed(0), clean.WithDeterministicSync(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := clean.NewMachine(dcfg)
+	droot, dbase := fp.Prog.Build(dm)
+	if err := dm.Run(droot); err != nil {
+		t.Fatalf("in-process race-free run: %v", err)
+	}
+	if want := telemetry.FormatHash(dm.HashMem(dbase, fp.Prog.Region)); dres.DeterminismHash != want {
+		t.Errorf("determinism hash %s, in-process %s", dres.DeterminismHash, want)
+	}
+}
+
+// TestGoSourceJobRejectsBadSource: unparseable or unsupported Go source
+// is a 400 whose message carries the front end's positioned diagnostics.
+func TestGoSourceJobRejectsBadSource(t *testing.T) {
+	ctx := context.Background()
+	_, c := startTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionCLEAN, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, src, wantPos string
+	}{
+		{"syntax error", "package main\nfunc main() {", "gosource.go:2"},
+		{"unsupported construct", "package main\nvar x int\nfunc main() {\n\tgo func() { x = 1 }()\n\tselect {}\n}\n", "gosource.go:5"},
+	}
+	for _, tc := range cases {
+		_, err := c.Submit(ctx, sess.ID, apiv1.JobSpec{GoSource: tc.src})
+		var apiErr *apiv1.Error
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+			t.Fatalf("%s: err = %v, want 400", tc.name, err)
+		}
+		if !strings.Contains(apiErr.Message, tc.wantPos) {
+			t.Errorf("%s: message %q lacks position %q", tc.name, apiErr.Message, tc.wantPos)
+		}
 	}
 }

@@ -1,0 +1,139 @@
+package staticrace
+
+// Must-happen-before analysis for programs with channels. The lockset
+// layer knows nothing about ordering, and the sequential witness check
+// only examines two schedules; channel programs need a third tool — a
+// sound "ordered in every schedule" relation — to prove message-passing
+// patterns (handoff, WaitGroup-style join counters) race-free.
+//
+// The relation is built from program order plus the Go memory model's
+// channel edges, restricted to the cases where the matching of send and
+// receive ordinals is schedule-independent:
+//
+//   - send→receive: the k-th send on a channel happens before the k-th
+//     receive completes. A send op's completion ordinal on channel c is
+//     at most S − after (S total sends on c program-wide, after = sends
+//     following it in its own thread). When all receives on c are in one
+//     thread, receive ordinals are that thread's program order, so
+//     maxOrd(send) ≤ ord(recv) gives a schedule-independent edge.
+//   - receive→send: the k-th receive happens before the (k+C)-th send
+//     completes (C = capacity; the rendezvous edge for C = 0). Dually,
+//     when all sends on c are in one thread, maxOrd(recv) + C ≤
+//     ord(send) gives the edge.
+//
+// The transitive closure of these edges over all ops is sound: every
+// edge holds in every execution in which both ops run, so any access
+// pair it orders is ordered in every schedule — RaceFree.
+
+import "repro/internal/prog"
+
+// opOrder is the must-happen-before relation over a program's ops,
+// indexed by dense per-program op ids.
+type opOrder struct {
+	base []int // global id of thread t's op 0
+	n    int
+	hb   []bool // n×n reachability matrix
+}
+
+func (o *opOrder) id(thread, index int) int { return o.base[thread] + index }
+
+// Ordered reports whether op a must happen before op b in every schedule.
+func (o *opOrder) Ordered(aThread, aIndex, bThread, bIndex int) bool {
+	return o.hb[o.id(aThread, aIndex)*o.n+o.id(bThread, bIndex)]
+}
+
+// chanOpFacts locates one channel op for edge derivation.
+type chanOpFacts struct {
+	thread, index int
+	// before and after count same-kind ops on the same channel in the
+	// same thread, before and after this op.
+	before, after int
+}
+
+// mustOrder builds the relation for p. Quadratic in the op count, which
+// is fine at litmus scale; callers gate it behind len(p.Chans) > 0.
+func mustOrder(p *prog.Program) *opOrder {
+	o := &opOrder{base: make([]int, len(p.Threads))}
+	for t, ops := range p.Threads {
+		o.base[t] = o.n
+		o.n += len(ops)
+	}
+	o.hb = make([]bool, o.n*o.n)
+	edge := func(a, b int) { o.hb[a*o.n+b] = true }
+
+	// Program order.
+	for t, ops := range p.Threads {
+		for i := 1; i < len(ops); i++ {
+			edge(o.id(t, i-1), o.id(t, i))
+		}
+	}
+
+	// Channel edges.
+	for c := range p.Chans {
+		var sends, recvs []chanOpFacts
+		sendThreads, recvThreads := map[int]bool{}, map[int]bool{}
+		for t, ops := range p.Threads {
+			nSend, nRecv := 0, 0
+			for i, op := range ops {
+				switch {
+				case op.Kind == prog.Send && op.Chan == c:
+					sends = append(sends, chanOpFacts{thread: t, index: i, before: nSend})
+					sendThreads[t] = true
+					nSend++
+				case op.Kind == prog.Recv && op.Chan == c:
+					recvs = append(recvs, chanOpFacts{thread: t, index: i, before: nRecv})
+					recvThreads[t] = true
+					nRecv++
+				}
+			}
+			for j := range sends {
+				if sends[j].thread == t {
+					sends[j].after = nSend - sends[j].before - 1
+				}
+			}
+			for j := range recvs {
+				if recvs[j].thread == t {
+					recvs[j].after = nRecv - recvs[j].before - 1
+				}
+			}
+		}
+		S, R := len(sends), len(recvs)
+		if len(recvThreads) == 1 {
+			// Receive ordinals are fixed: send x → recv y when even x's
+			// latest possible ordinal is received by y.
+			for _, x := range sends {
+				for _, y := range recvs {
+					if x.thread != y.thread && S-x.after <= y.before+1 {
+						edge(o.id(x.thread, x.index), o.id(y.thread, y.index))
+					}
+				}
+			}
+		}
+		if len(sendThreads) == 1 {
+			// Send ordinals are fixed: recv y → send x when even y's
+			// latest possible ordinal frees a slot at or before x's.
+			for _, y := range recvs {
+				for _, x := range sends {
+					if x.thread != y.thread && (R-y.after)+p.Chans[c] <= x.before+1 {
+						edge(o.id(y.thread, y.index), o.id(x.thread, x.index))
+					}
+				}
+			}
+		}
+	}
+
+	// Transitive closure (Floyd–Warshall on the boolean matrix).
+	for k := 0; k < o.n; k++ {
+		for i := 0; i < o.n; i++ {
+			if !o.hb[i*o.n+k] {
+				continue
+			}
+			for j := 0; j < o.n; j++ {
+				if o.hb[k*o.n+j] {
+					o.hb[i*o.n+j] = true
+				}
+			}
+		}
+	}
+	return o
+}

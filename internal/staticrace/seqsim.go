@@ -1,0 +1,259 @@
+package staticrace
+
+// An exact interpreter for the sequential-composition witness schedules.
+//
+// For lock-only programs the witness check is a two-line symbolic
+// argument (orderedSequential): in the A-then-B schedule the only
+// happens-before channel is a lock released after A's access and
+// acquired before B's. Channels break that argument — a listed thread
+// can block mid-run on an empty channel or a full buffer, hand control
+// to other threads, and pick up clocks through message edges — so for
+// channel programs the analyzer instead *runs* the schedule: a
+// straight-line interpretation of the program under exactly the
+// scheduling policy prog.SequentialPicker realizes on the machine,
+// tracking vector clocks the way machine.Thread/Mutex/Chan do. An
+// access pair left unordered by the simulated schedule reproduces as a
+// race exception when the same schedule runs on the machine under a
+// precise detector (this pair raises, or an earlier unordered pair
+// stops the machine first), so it is a sound MustRace witness.
+//
+// One machine behavior is not reproducible here: when a mutex with two
+// or more blocked waiters is released, the machine wakes one chosen by
+// its seeded policy. The simulator detects that situation and reports
+// the run ambiguous; the caller falls back to MayRace for the pair.
+
+import (
+	"repro/internal/prog"
+	"repro/internal/vclock"
+)
+
+// simAccess is one executed data access with the clock it carried.
+type simAccess struct {
+	thread, index int // worker index, op index
+	vc            vclock.VC
+}
+
+// simOutcome is the result of interpreting one sequential schedule.
+type simOutcome struct {
+	accesses []simAccess
+	// complete is true when every thread ran to the end; otherwise the
+	// program deadlocked (accesses holds the prefix that did execute).
+	complete bool
+	// ambiguous is true when the run hit a multi-waiter mutex release,
+	// whose winner the machine picks with its seeded policy; the
+	// simulation stops there and proves nothing.
+	ambiguous bool
+}
+
+// ordered reports whether the access at (thread, index) happens-before
+// its counterpart in this outcome; ok is false if either never executed.
+func (o *simOutcome) find(thread, index int) (vclock.VC, bool) {
+	for _, a := range o.accesses {
+		if a.thread == thread && a.index == index {
+			return a.vc, true
+		}
+	}
+	return vclock.VC{}, false
+}
+
+// simThread mirrors machine.Thread for one straight-line op list.
+type simThread struct {
+	tid      int // machine thread id (root 0, worker w is w+1)
+	ops      []prog.Op
+	pc       int
+	vc       vclock.VC
+	finished bool
+	// midSend marks a send that has taken its queue position (ordinal
+	// sendOrd) but is still waiting for the receive that frees its slot
+	// — the machine's blocked sender with a receivable message.
+	midSend bool
+	sendOrd int
+}
+
+type simLock struct {
+	holder int // tid, or -1
+	vc     vclock.VC
+}
+
+type simChan struct {
+	cap              int
+	sendVCs, recvVCs []vclock.VC
+	sendArr, recvArr int
+}
+
+// simulateSequential interprets p under prog.SequentialPicker(order...):
+// the root spawns every worker then joins them in index order; among
+// workers able to make progress, listed ones run in the given order,
+// then lowest index. Mirrors machine clock updates op for op.
+func simulateSequential(p *prog.Program, order ...int) simOutcome {
+	n := len(p.Threads)
+	workers := make([]*simThread, n)
+	for w := range workers {
+		workers[w] = &simThread{tid: w + 1, ops: p.Threads[w]}
+	}
+	root := &simThread{tid: 0}
+	locks := make([]*simLock, p.Locks)
+	for i := range locks {
+		locks[i] = &simLock{holder: -1}
+	}
+	chans := make([]*simChan, len(p.Chans))
+	for i, c := range p.Chans {
+		chans[i] = &simChan{cap: c}
+	}
+	rank := map[int]int{}
+	for pos, w := range order {
+		rank[w] = pos
+	}
+
+	var out simOutcome
+
+	// canStep reports whether a worker's current op can take effect now.
+	// A thread whose op cannot is the machine's blocked thread: it may
+	// have burned a dispatch discovering that, but the dispatch changes
+	// no state, so skipping it preserves the realized op order.
+	canStep := func(t *simThread) bool {
+		if t.finished || t.pc >= len(t.ops) {
+			return false
+		}
+		if t.midSend {
+			c := chans[t.ops[t.pc].Chan]
+			return t.sendOrd-c.cap < len(c.recvVCs)
+		}
+		op := t.ops[t.pc]
+		switch op.Kind {
+		case prog.Lock:
+			return locks[op.Lock].holder == -1
+		case prog.Recv:
+			c := chans[op.Chan]
+			return c.sendArr > c.recvArr
+		default: // Read, Write, Work, Unlock, Send arrival
+			return true
+		}
+	}
+
+	step := func(w int) {
+		t := workers[w]
+		op := t.ops[t.pc]
+		if t.midSend {
+			c := chans[op.Chan]
+			t.vc.Join(c.recvVCs[t.sendOrd-c.cap])
+			t.midSend = false
+			t.pc++
+			return
+		}
+		switch op.Kind {
+		case prog.Read, prog.Write:
+			out.accesses = append(out.accesses, simAccess{thread: w, index: t.pc, vc: t.vc.Copy()})
+		case prog.Lock:
+			l := locks[op.Lock]
+			l.holder = t.tid
+			t.vc.Join(l.vc)
+		case prog.Unlock:
+			l := locks[op.Lock]
+			// Machine fidelity check: if two or more other threads are
+			// blocked on this mutex, the machine's seeded wake policy —
+			// not the picker — chooses who runs next.
+			blocked := 0
+			for _, o := range workers {
+				if o != t && !o.finished && o.pc < len(o.ops) &&
+					o.ops[o.pc].Kind == prog.Lock && o.ops[o.pc].Lock == op.Lock {
+					blocked++
+				}
+			}
+			if blocked >= 2 {
+				out.ambiguous = true
+				return
+			}
+			l.vc = t.vc.Copy()
+			t.vc.Tick(t.tid)
+			l.holder = -1
+		case prog.Send:
+			c := chans[op.Chan]
+			k := c.sendArr
+			c.sendArr++
+			c.sendVCs = append(c.sendVCs, t.vc.Copy())
+			t.vc.Tick(t.tid)
+			if need := k - c.cap; need >= 0 {
+				if need < len(c.recvVCs) {
+					t.vc.Join(c.recvVCs[need])
+				} else {
+					t.midSend = true
+					t.sendOrd = k
+					return // pc holds; completion is this thread's next step
+				}
+			}
+		case prog.Recv:
+			c := chans[op.Chan]
+			r := c.recvArr
+			c.recvArr++
+			t.vc.Join(c.sendVCs[r])
+			c.recvVCs = append(c.recvVCs, t.vc.Copy())
+			t.vc.Tick(t.tid)
+		case prog.Work:
+			// no clock effect
+		}
+		t.pc++
+		if t.pc == len(t.ops) {
+			t.finished = true
+		}
+	}
+
+	// Root: pc 0..n-1 spawn worker pc, pc n..2n-1 join worker pc-n.
+	rootCan := func() bool {
+		if root.pc < n {
+			return true
+		}
+		if root.pc < 2*n {
+			return workers[root.pc-n].finished
+		}
+		return false
+	}
+	rootStep := func() {
+		if w := root.pc; w < n {
+			workers[w].vc = root.vc.Copy()
+			workers[w].vc.Tick(workers[w].tid)
+			root.vc.Tick(root.tid)
+		} else {
+			root.vc.Join(workers[w-n].vc)
+		}
+		root.pc++
+	}
+
+	for {
+		if root.pc == 2*n {
+			out.complete = true
+			return out
+		}
+		if rootCan() {
+			rootStep()
+			continue
+		}
+		// Pick the most-preferred worker able to make progress, exactly
+		// as SequentialPicker would among runnable threads.
+		best, bestRank, bestOK := -1, 0, false
+		for w, t := range workers {
+			if !canStep(t) {
+				continue
+			}
+			r, ok := rank[w]
+			switch {
+			case best < 0:
+				best, bestRank, bestOK = w, r, ok
+			case ok && (!bestOK || r < bestRank):
+				best, bestRank, bestOK = w, r, true
+			}
+		}
+		if best < 0 {
+			return out // deadlock: no thread can advance
+		}
+		step(best)
+		if out.ambiguous {
+			return out
+		}
+	}
+}
+
+// unorderedVCs reports whether two access clocks are concurrent.
+func unorderedVCs(a, b vclock.VC) bool {
+	return !a.HappensBefore(b) && !b.HappensBefore(a)
+}

@@ -34,6 +34,14 @@
 //     interleaving (see the "lock-shadow" litmus), but proving or
 //     refuting it is beyond the lockset abstraction: MayRace.
 //
+// Programs with channels get two extra tools, because channels add a
+// happens-before mechanism the lockset abstraction cannot see: a sound
+// must-happen-before closure over program order and schedule-independent
+// channel edges upgrades ordered pairs to RaceFree (see chanorder.go),
+// and the witness check swaps the symbolic lock argument for an exact
+// interpretation of the two sequential schedules (see seqsim.go).
+// Channel-free programs keep the original symbolic path bit for bit.
+//
 // Verdicts carry WAW/RAW/WAR kind attribution in machine.RaceKind terms,
 // so they are directly comparable to what CLEAN, FastTrack, and the
 // reference oracle raise dynamically.
@@ -119,6 +127,9 @@ type Pair struct {
 	// protected pair (nil for ordered-by-program-order pairs, which do
 	// not appear here — only cross-thread pairs are reported).
 	CommonLocks []int
+	// ChanOrdered marks a RaceFree pair proven by the channel
+	// must-happen-before closure rather than a common lock.
+	ChanOrdered bool
 	// WitnessFirst is the worker that runs first in the sequential
 	// witness schedule of a MustRace pair, -1 otherwise. The schedule is
 	// replayable via prog.SequentialPicker(WitnessFirst, other).
@@ -134,6 +145,8 @@ func (p Pair) String() string {
 	switch {
 	case len(p.CommonLocks) > 0:
 		s += fmt.Sprintf(" protected by %v", p.CommonLocks)
+	case p.ChanOrdered:
+		s += " ordered by channel edges"
 	case p.Verdict == MustRace:
 		s += fmt.Sprintf(" witness: t%d first", p.WitnessFirst)
 	}
@@ -250,6 +263,16 @@ func Analyze(p *prog.Program) *Report {
 		rep.Accesses = append(rep.Accesses, f.accesses...)
 	}
 
+	// Channel programs use the must-happen-before closure and the exact
+	// schedule interpreter; channel-free programs keep the symbolic path
+	// (identical output to the pre-channel analyzer).
+	var ord *opOrder
+	var sims map[[2]int]simOutcome
+	if len(p.Chans) > 0 {
+		ord = mustOrder(p)
+		sims = map[[2]int]simOutcome{}
+	}
+
 	for ta := 0; ta < len(facts); ta++ {
 		for tb := ta + 1; tb < len(facts); tb++ {
 			// Fork/join MHP: every pair of workers runs in parallel.
@@ -258,7 +281,11 @@ func Analyze(p *prog.Program) *Report {
 					if !a.Overlaps(b) || (!a.Write && !b.Write) {
 						continue
 					}
-					rep.Pairs = append(rep.Pairs, classify(a, b, facts[ta], facts[tb]))
+					if ord != nil {
+						rep.Pairs = append(rep.Pairs, classifyChan(p, a, b, ord, sims))
+					} else {
+						rep.Pairs = append(rep.Pairs, classify(a, b, facts[ta], facts[tb]))
+					}
 				}
 			}
 		}
@@ -292,6 +319,61 @@ func classify(a, b Access, fa, fb threadFacts) Pair {
 	default:
 		pair.Verdict = MayRace
 	}
+	return pair
+}
+
+// classifyChan produces the verdict for one pair of a program with
+// channels. Common locks still prove mutual exclusion; the channel
+// must-happen-before closure proves ordering; otherwise the two
+// sequential witness schedules are interpreted exactly, and a schedule
+// that executes both accesses with concurrent clocks is a replayable
+// MustRace witness. An ambiguous simulation (multi-waiter mutex wake)
+// proves nothing and the pair stays MayRace.
+func classifyChan(p *prog.Program, a, b Access, ord *opOrder, sims map[[2]int]simOutcome) Pair {
+	pair := Pair{A: a, B: b, WitnessFirst: -1}
+	if a.Write && b.Write {
+		pair.Kinds = []machine.RaceKind{machine.WAW}
+	} else {
+		pair.Kinds = []machine.RaceKind{machine.RAW, machine.WAR}
+	}
+	if common := intersect(a.Lockset, b.Lockset); len(common) > 0 {
+		pair.Verdict = RaceFree
+		pair.CommonLocks = common
+		return pair
+	}
+	if ord.Ordered(a.Thread, a.Index, b.Thread, b.Index) ||
+		ord.Ordered(b.Thread, b.Index, a.Thread, a.Index) {
+		pair.Verdict = RaceFree
+		pair.ChanOrdered = true
+		return pair
+	}
+	simFor := func(first, second int) simOutcome {
+		key := [2]int{first, second}
+		out, ok := sims[key]
+		if !ok {
+			out = simulateSequential(p, first, second)
+			sims[key] = out
+		}
+		return out
+	}
+	for _, first := range []int{a.Thread, b.Thread} {
+		second := b.Thread
+		if first == b.Thread {
+			second = a.Thread
+		}
+		out := simFor(first, second)
+		if out.ambiguous {
+			continue
+		}
+		avc, aok := out.find(a.Thread, a.Index)
+		bvc, bok := out.find(b.Thread, b.Index)
+		if aok && bok && unorderedVCs(avc, bvc) {
+			pair.Verdict = MustRace
+			pair.WitnessFirst = first
+			return pair
+		}
+	}
+	pair.Verdict = MayRace
 	return pair
 }
 

@@ -27,6 +27,9 @@ func TestLitmusVerdicts(t *testing.T) {
 		"nested-locks":   RaceFree,
 		"partial-lock":   MustRace,
 		"lock-shadow":    MayRace,
+
+		"chan-handoff":       RaceFree,
+		"chan-buffered-racy": MustRace,
 	}
 	for name, v := range want {
 		_, rep := analyzeLitmus(t, name)
@@ -78,7 +81,7 @@ func TestNestedLockProtection(t *testing.T) {
 // recorded witness schedule under the reference oracle must raise a race
 // exception — the analyzer's certainty is backed by an actual run.
 func TestMustRaceWitnessReplays(t *testing.T) {
-	for _, name := range []string{"waw", "raw-war", "partial-lock"} {
+	for _, name := range []string{"waw", "raw-war", "partial-lock", "chan-buffered-racy"} {
 		lit, rep := analyzeLitmus(t, name)
 		first, second, ok := rep.Witness()
 		if !ok {
@@ -151,6 +154,68 @@ func TestAdjacentAccessesDoNotOverlap(t *testing.T) {
 	}}
 	if rep := Analyze(p); len(rep.Pairs) != 0 {
 		t.Fatalf("adjacent writes reported: %v", rep.Pairs)
+	}
+}
+
+// TestChanHandoffPairChanOrdered: the handoff pair is proven race-free
+// by the channel must-happen-before closure, not by locks.
+func TestChanHandoffPairChanOrdered(t *testing.T) {
+	_, rep := analyzeLitmus(t, "chan-handoff")
+	if len(rep.Pairs) != 1 {
+		t.Fatalf("pairs: %v", rep.Pairs)
+	}
+	p := rep.Pairs[0]
+	if p.Verdict != RaceFree || !p.ChanOrdered || len(p.CommonLocks) != 0 {
+		t.Fatalf("pair %v: want RaceFree via channel edges", p)
+	}
+}
+
+// TestWaitGroupPatternRaceFree: the lowering gofront uses for
+// sync.WaitGroup — a buffered channel with one send per Done and one
+// receive per counted Add before the waiter's read — is proven race-free
+// by the closure: each worker's write is ordered before the main
+// thread's read through its send and the final receive. The workers'
+// writes target disjoint slots, so no worker/worker pair conflicts.
+func TestWaitGroupPatternRaceFree(t *testing.T) {
+	p := &prog.Program{Region: 16, Locks: 0, Chans: []int{2}, Threads: [][]prog.Op{
+		{{Kind: prog.Write, Off: 0, Size: 8}, {Kind: prog.Send, Chan: 0}},
+		{{Kind: prog.Write, Off: 8, Size: 8}, {Kind: prog.Send, Chan: 0}},
+		{{Kind: prog.Recv, Chan: 0}, {Kind: prog.Recv, Chan: 0},
+			{Kind: prog.Read, Off: 0, Size: 8}, {Kind: prog.Read, Off: 8, Size: 8}},
+	}}
+	rep := Analyze(p)
+	if rep.Verdict() != RaceFree {
+		t.Fatalf("verdict %v, want RaceFree: %v", rep.Verdict(), rep.Pairs)
+	}
+	for _, pr := range rep.Pairs {
+		if !pr.ChanOrdered {
+			t.Fatalf("pair %v not proven by channel edges", pr)
+		}
+	}
+}
+
+// TestWaitGroupEarlyReadMustRace: reading after only one of two receives
+// is the classic broken-WaitGroup bug — one worker's write is still
+// concurrent with the read, and the sequential witness interpreter must
+// find it.
+func TestWaitGroupEarlyReadMustRace(t *testing.T) {
+	p := &prog.Program{Region: 8, Locks: 0, Chans: []int{2}, Threads: [][]prog.Op{
+		{{Kind: prog.Write, Off: 0, Size: 8}, {Kind: prog.Send, Chan: 0}},
+		{{Kind: prog.Write, Off: 0, Size: 8}, {Kind: prog.Send, Chan: 0}},
+		{{Kind: prog.Recv, Chan: 0}, {Kind: prog.Read, Off: 0, Size: 8}},
+	}}
+	rep := Analyze(p)
+	if rep.Verdict() != MustRace {
+		t.Fatalf("verdict %v, want MustRace: %v", rep.Verdict(), rep.Pairs)
+	}
+	first, second, ok := rep.Witness()
+	if !ok {
+		t.Fatal("no witness")
+	}
+	_, err := p.RunPicked(prog.SequentialPicker(first, second), oracle.New(oracle.AllRaces))
+	var re *machine.RaceError
+	if !errors.As(err, &re) {
+		t.Fatalf("witness run: %v, want race exception", err)
 	}
 }
 

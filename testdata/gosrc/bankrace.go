@@ -1,0 +1,27 @@
+// The classic bank-account race: two goroutines apply unsynchronized
+// read-modify-write updates to a shared balance. Racy (MustRace).
+package main
+
+import "sync"
+
+var balance int64
+
+var wg sync.WaitGroup
+
+func deposit() {
+	balance += 100
+	wg.Done()
+}
+
+func withdraw() {
+	balance -= 50
+	wg.Done()
+}
+
+func main() {
+	wg.Add(2)
+	go deposit()
+	go withdraw()
+	wg.Wait()
+	println(balance)
+}

@@ -1,0 +1,34 @@
+// The bank account fixed: every balance update holds the mutex, and the
+// final read is ordered by wg.Wait. Race-free.
+package main
+
+import "sync"
+
+var (
+	mu      sync.Mutex
+	balance int64
+)
+
+var wg sync.WaitGroup
+
+func deposit() {
+	defer wg.Done()
+	mu.Lock()
+	defer mu.Unlock()
+	balance += 100
+}
+
+func withdraw() {
+	defer wg.Done()
+	mu.Lock()
+	defer mu.Unlock()
+	balance -= 50
+}
+
+func main() {
+	wg.Add(2)
+	go deposit()
+	go withdraw()
+	wg.Wait()
+	println(balance)
+}

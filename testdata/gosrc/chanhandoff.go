@@ -1,0 +1,17 @@
+// Message-passing handoff: the writer publishes over an unbuffered
+// channel before the reader looks, so the Go memory model's channel
+// edge orders the accesses. Race-free without locks.
+package main
+
+var data int64
+
+var done = make(chan bool)
+
+func main() {
+	go func() {
+		data = 42
+		done <- true
+	}()
+	<-done
+	println(data)
+}

@@ -1,0 +1,34 @@
+// Double-checked locking: the outer read of initialized is not under
+// the mutex, so it races with the write inside the critical section.
+// Racy.
+package main
+
+import "sync"
+
+var (
+	mu          sync.Mutex
+	initialized bool
+	value       int64
+)
+
+var wg sync.WaitGroup
+
+func setup() {
+	defer wg.Done()
+	if !initialized {
+		mu.Lock()
+		if !initialized {
+			value = 42
+			initialized = true
+		}
+		mu.Unlock()
+	}
+	_ = value
+}
+
+func main() {
+	wg.Add(2)
+	go setup()
+	go setup()
+	wg.Wait()
+}

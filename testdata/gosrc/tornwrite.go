@@ -1,0 +1,30 @@
+// A torn write: a logical 64-bit value stored as two adjacent 32-bit
+// halves, written by two goroutines without synchronization. A schedule
+// can interleave the half-writes and leave a value neither goroutine
+// wrote. Racy (MustRace, WAW on both halves).
+package main
+
+import "sync"
+
+var (
+	lo uint32
+	hi uint32
+)
+
+var wg sync.WaitGroup
+
+func main() {
+	wg.Add(2)
+	go func() {
+		lo = 1
+		hi = 1
+		wg.Done()
+	}()
+	go func() {
+		lo = 2
+		hi = 2
+		wg.Done()
+	}()
+	wg.Wait()
+	println(lo, hi)
+}

@@ -1,0 +1,27 @@
+// A racy counter behind a correct WaitGroup: the Wait orders main's
+// final read after every increment, but the increments themselves are
+// unsynchronized read-modify-writes. Racy between the workers, ordered
+// for main.
+package main
+
+import "sync"
+
+var counter int64
+
+var wg sync.WaitGroup
+
+func work() {
+	for i := 0; i < 2; i++ {
+		counter++
+	}
+	wg.Done()
+}
+
+func main() {
+	wg.Add(3)
+	go work()
+	go work()
+	go work()
+	wg.Wait()
+	println(counter)
+}
