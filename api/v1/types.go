@@ -37,6 +37,7 @@ const (
 	KindHealth    = "clean.v1.health"
 	KindMetrics   = "clean.v1.metrics"
 	KindError     = "clean.v1.error"
+	KindChaos     = "clean.v1.chaos"
 )
 
 // Detector names accepted in SessionConfig.Detection.
@@ -55,6 +56,10 @@ const (
 	OutcomeLivelock       = "livelock"
 	OutcomeContainedCrash = "contained-crash"
 	OutcomeError          = "error"
+	// OutcomeDeadline marks a run the service never started (or cut
+	// short between fan-out runs) because the job's wall-clock deadline
+	// had already passed.
+	OutcomeDeadline = "deadline-exceeded"
 )
 
 // Job lifecycle states.
@@ -224,12 +229,24 @@ type JobSpec struct {
 	// Seeds fans the job out over one run per seed on the server's worker
 	// pool; empty means one run under the session seed.
 	Seeds []int64 `json:"seeds,omitempty"`
+	// MaxSteps overrides the session's per-run scheduler budget for this
+	// job (0 = session/server default). Every run stays deterministically
+	// bounded even when the wall-clock deadline never fires.
+	MaxSteps uint64 `json:"max_steps,omitempty"`
+	// DeadlineSeconds is the job's wall-clock budget, measured from
+	// acceptance (queue wait counts). Runs not started before it passes
+	// finish with OutcomeDeadline; 0 means no deadline.
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
 }
 
 // SubmitJobRequest submits a job to a session.
 type SubmitJobRequest struct {
 	Schema int     `json:"schema"`
 	Job    JobSpec `json:"job"`
+	// IdempotencyKey makes the submission safe to retry: a second submit
+	// to the same session with the same key returns the original job
+	// instead of enqueueing a duplicate. Empty disables deduplication.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // RunResult is the outcome of one run of a job.
@@ -266,6 +283,11 @@ type Job struct {
 	// State is "queued", "running" or "done".
 	State string  `json:"state"`
 	Spec  JobSpec `json:"spec"`
+	// IdempotencyKey echoes the submission's deduplication key.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Attempts counts executions of this job: 1 for the common case, 2
+	// when a contained worker panic forced the one permitted requeue.
+	Attempts int `json:"attempts,omitempty"`
 	// Runs holds one result per run, in seed order, once State is "done".
 	Runs []RunResult `json:"runs,omitempty"`
 }
@@ -283,6 +305,12 @@ type Health struct {
 	QueueCap   int `json:"queue_cap"`
 	// Workers is the size of the worker pool.
 	Workers int `json:"workers"`
+	// Durable reports whether the server persists jobs to a store — a
+	// crash loses nothing acknowledged.
+	Durable bool `json:"durable,omitempty"`
+	// RecoveredJobs counts the queued/running jobs the server re-enqueued
+	// from its store at the most recent boot.
+	RecoveredJobs int `json:"recovered_jobs,omitempty"`
 }
 
 // Metrics is the /metrics document: the server's own registry snapshot.
@@ -290,6 +318,33 @@ type Metrics struct {
 	Schema  int             `json:"schema"`
 	Kind    string          `json:"kind"`
 	Metrics MetricsSnapshot `json:"metrics"`
+}
+
+// ChaosRequest arms the server's service-level fault injector (the
+// /debug/chaos endpoint, mounted only when the server was started with
+// chaos enabled). Counts are consumed as they fire; windows are
+// wall-clock. The soak harness (cmd/cleanstress) uses this to attack a
+// live server and then assert graceful degradation.
+type ChaosRequest struct {
+	Schema int `json:"schema"`
+	// WorkerPanics makes the next N job executions panic inside the
+	// worker, exercising panic containment and the single requeue.
+	WorkerPanics int `json:"worker_panics,omitempty"`
+	// StoreErrors fails the next N store appends, exercising the
+	// submission path's 503 degradation.
+	StoreErrors int `json:"store_errors,omitempty"`
+	// StallSeconds holds every worker idle for this wall-clock window,
+	// building queue pressure (429s) without losing anything.
+	StallSeconds float64 `json:"stall_seconds,omitempty"`
+}
+
+// Chaos acknowledges a ChaosRequest with the injector's armed state.
+type Chaos struct {
+	Schema                int     `json:"schema"`
+	Kind                  string  `json:"kind"`
+	WorkerPanics          int     `json:"worker_panics"`
+	StoreErrors           int     `json:"store_errors"`
+	StallSecondsRemaining float64 `json:"stall_seconds_remaining"`
 }
 
 // Error is the error envelope every non-2xx response carries.
@@ -386,6 +441,9 @@ func (s *JobSpec) Validate() error {
 	}
 	if len(s.Schedule) > 0 && len(s.Seeds) > 0 {
 		return fmt.Errorf("api/v1: a scheduled replay is seed-independent; schedule and seeds are exclusive")
+	}
+	if s.DeadlineSeconds < 0 {
+		return fmt.Errorf("api/v1: negative deadline_seconds %v", s.DeadlineSeconds)
 	}
 	return nil
 }

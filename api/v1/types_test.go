@@ -61,11 +61,51 @@ func TestJobSpecValidate(t *testing.T) {
 		{"gosource and litmus", JobSpec{GoSource: "package main", Litmus: "waw"}, false},
 		{"gosource oversized", JobSpec{GoSource: strings.Repeat("/", MaxGoSourceBytes+1)}, false},
 		{"gosource with schedule", JobSpec{GoSource: "package main\nfunc main() {}\n", Schedule: []int{0}}, true},
+		{"deadline", JobSpec{Litmus: "waw", DeadlineSeconds: 2.5}, true},
+		{"negative deadline", JobSpec{Litmus: "waw", DeadlineSeconds: -1}, false},
+		{"job maxsteps", JobSpec{Litmus: "waw", MaxSteps: 10_000}, true},
 	}
 	for _, c := range cases {
 		err := c.spec.Validate()
 		if (err == nil) != c.ok {
 			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
 		}
+	}
+}
+
+// TestSubmitRequestIdempotencyKeyRoundTrip: the dedup key survives the
+// wire, and strict decoding still rejects unknown fields.
+func TestSubmitRequestIdempotencyKeyRoundTrip(t *testing.T) {
+	req := SubmitJobRequest{Schema: SchemaVersion, Job: JobSpec{Litmus: "waw"}, IdempotencyKey: "k-123"}
+	data, err := Encode(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SubmitJobRequest
+	if err := DecodeStrict(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.IdempotencyKey != "k-123" {
+		t.Errorf("idempotency key %q, want k-123", back.IdempotencyKey)
+	}
+}
+
+// TestChaosRoundTrip pins the chaos document shapes.
+func TestChaosRoundTrip(t *testing.T) {
+	req := ChaosRequest{Schema: SchemaVersion, WorkerPanics: 2, StoreErrors: 1, StallSeconds: 1.5}
+	data, err := Encode(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ChaosRequest
+	if err := DecodeStrict(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != req {
+		t.Errorf("round trip %+v, want %+v", back, req)
+	}
+	ack := Chaos{Schema: SchemaVersion, Kind: KindChaos, WorkerPanics: 2}
+	if err := CheckHeader(ack.Schema, ack.Kind, KindChaos); err != nil {
+		t.Error(err)
 	}
 }

@@ -1,0 +1,274 @@
+package main
+
+// End-to-end crash tests against the real cleand binary: SIGKILL with
+// jobs in flight, restart on the same store directory, and the drain
+// path under SIGTERM with gosource jobs still queued. These are the
+// cross-process half of the recovery contract; the in-process half
+// (precise fault injection) lives in internal/service.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	apiv1 "repro/api/v1"
+	"repro/internal/service"
+)
+
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+)
+
+// cleandBin builds the real binary once per test process.
+func cleandBin(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "cleand-e2e-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildBin = filepath.Join(dir, "cleand")
+		out, err := exec.Command("go", "build", "-o", buildBin, ".").CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("building cleand: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildBin
+}
+
+// daemon is one running cleand under test.
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string
+	stderr *bytes.Buffer
+}
+
+// startDaemon boots cleand on an ephemeral port and waits for its
+// listening line.
+func startDaemon(t *testing.T, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{stderr: &bytes.Buffer{}}
+	d.cmd = exec.Command(cleandBin(t), append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	d.cmd.Stderr = d.stderr
+	stdout, err := d.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if _, addr, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			d.base = "http://" + strings.TrimSpace(addr)
+			break
+		}
+	}
+	if d.base == "" {
+		d.cmd.Process.Kill()
+		d.cmd.Wait()
+		t.Fatalf("cleand never reported its address; stderr:\n%s", d.stderr)
+	}
+	// Keep draining stdout so the child never blocks on a full pipe.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return d
+}
+
+func (d *daemon) client() *service.Client { return service.NewClient(d.base) }
+
+// TestKillAndRecover is the acceptance e2e: jobs acknowledged by a
+// durable cleand survive SIGKILL — a restart on the same store
+// directory re-runs them and produces results byte-identical to an
+// uninterrupted server's, and idempotency keys keep deduplicating
+// across the crash.
+func TestKillAndRecover(t *testing.T) {
+	ctx := context.Background()
+	cfg := apiv1.SessionConfig{Detection: apiv1.DetectionCLEAN, Seed: 11}
+	gosrc, err := os.ReadFile("../../testdata/gosrc/chanhandoff.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []apiv1.JobSpec{
+		{Litmus: "waw"},
+		{Litmus: "locked-counter"},
+		{GoSource: string(gosrc)},
+	}
+
+	// Reference: an uninterrupted server runs the same session config and
+	// jobs to completion.
+	ref := startDaemon(t, "-store", t.TempDir(), "-workers", "2")
+	refClient := ref.client()
+	refSess, err := refClient.CreateSession(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJobs := make([]*apiv1.Job, len(specs))
+	for i, spec := range specs {
+		if refJobs[i], err = refClient.Run(ctx, refSess.ID, spec); err != nil {
+			t.Fatalf("reference job %d: %v", i, err)
+		}
+	}
+	ref.cmd.Process.Signal(syscall.SIGTERM)
+	ref.cmd.Wait()
+
+	// Victim: chaos-stalled workers guarantee the jobs are acknowledged
+	// but still in flight when SIGKILL lands.
+	storeDir := t.TempDir()
+	victim := startDaemon(t, "-store", storeDir, "-workers", "1", "-chaos")
+	vc := victim.client()
+	sess, err := vc.CreateSession(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vc.ArmChaos(ctx, apiv1.ChaosRequest{StallSeconds: 30}); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, len(specs))
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		keys[i] = fmt.Sprintf("e2e-key-%d", i)
+		job, err := vc.SubmitWithKey(ctx, sess.ID, spec, keys[i])
+		if err != nil {
+			t.Fatalf("victim submit %d: %v", i, err)
+		}
+		if job.State == apiv1.JobDone {
+			t.Fatalf("job %d finished despite the stall; cannot test mid-job kill", i)
+		}
+		ids[i] = job.ID
+	}
+	// SIGKILL: no drain, no fsync beyond what already happened at each
+	// 202. This is the crash the journal exists for.
+	if err := victim.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.cmd.Wait()
+
+	// Restart on the same directory (no chaos: the stall died with the
+	// process). Every acknowledged job must recover and finish.
+	revived := startDaemon(t, "-store", storeDir, "-workers", "2")
+	defer func() {
+		revived.cmd.Process.Signal(syscall.SIGTERM)
+		revived.cmd.Wait()
+	}()
+	rc := revived.client()
+	h, err := rc.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Durable || h.RecoveredJobs != len(specs) {
+		t.Fatalf("health after restart: %+v, want durable with %d recovered jobs", h, len(specs))
+	}
+	for i, id := range ids {
+		wctx, cancel := context.WithTimeout(ctx, time.Minute)
+		got, err := rc.Wait(wctx, sess.ID, id)
+		cancel()
+		if err != nil {
+			t.Fatalf("recovered job %s never finished: %v", id, err)
+		}
+		// Byte-identical to the uninterrupted run: same witness for the
+		// racy litmus, same determinism hash for the clean runs.
+		want := refJobs[i]
+		if len(got.Runs) != len(want.Runs) {
+			t.Fatalf("job %s: %d runs, reference has %d", id, len(got.Runs), len(want.Runs))
+		}
+		for r := range got.Runs {
+			g, w := got.Runs[r], want.Runs[r]
+			if g.Outcome != w.Outcome || g.DeterminismHash != w.DeterminismHash {
+				t.Errorf("job %s run %d: outcome %q hash %q, reference %q %q",
+					id, r, g.Outcome, g.DeterminismHash, w.Outcome, w.DeterminismHash)
+			}
+			switch {
+			case (g.Witness == nil) != (w.Witness == nil):
+				t.Errorf("job %s run %d: witness presence differs from reference", id, r)
+			case g.Witness != nil && *g.Witness != *w.Witness:
+				t.Errorf("job %s run %d: witness %+v, reference %+v", id, r, *g.Witness, *w.Witness)
+			}
+		}
+	}
+	// Idempotency keys survive the crash: resubmitting returns the
+	// recovered job, not a new one.
+	dup, err := rc.SubmitWithKey(ctx, sess.ID, specs[0], keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID != ids[0] {
+		t.Errorf("post-crash duplicate submission got job %s, want %s", dup.ID, ids[0])
+	}
+}
+
+// TestDrainWithInFlightGoSource: SIGTERM with gosource jobs still
+// queued behind a stalled worker drains clean — the jobs finish, their
+// results stay pollable through the drain, and the process exits 0.
+func TestDrainWithInFlightGoSource(t *testing.T) {
+	ctx := context.Background()
+	gosrc, err := os.ReadFile("../../testdata/gosrc/chanhandoff.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := startDaemon(t, "-store", t.TempDir(), "-workers", "1", "-chaos")
+	c := d.client()
+	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionCLEAN, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ArmChaos(ctx, apiv1.ChaosRequest{StallSeconds: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		job, err := c.Submit(ctx, sess.ID, apiv1.JobSpec{GoSource: string(gosrc)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.ID)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// The drain window is open: polls issued while it lasts must keep
+	// serving until every in-flight job has delivered its result. All
+	// three waits run concurrently — the server exits once the drain
+	// completes, so a sequential poll would race the shutdown.
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			wctx, cancel := context.WithTimeout(ctx, time.Minute)
+			defer cancel()
+			job, err := c.Wait(wctx, sess.ID, id)
+			if err != nil {
+				t.Errorf("job %s unreachable during drain: %v", id, err)
+				return
+			}
+			if job.State != apiv1.JobDone || len(job.Runs) == 0 || job.Runs[0].Outcome != apiv1.OutcomeCompleted {
+				t.Errorf("job %s drained as %+v, want completed", id, job)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("cleand exited dirty after drain: %v\nstderr:\n%s", err, d.stderr)
+	}
+	if !strings.Contains(d.stderr.String(), "drained cleanly") {
+		t.Errorf("drain log missing; stderr:\n%s", d.stderr)
+	}
+}

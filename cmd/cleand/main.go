@@ -7,14 +7,18 @@
 //
 // Usage:
 //
-//	cleand                         # serve on :7319
+//	cleand                         # serve on :7319, memory-only
 //	cleand -addr 127.0.0.1:0       # ephemeral port (printed on stdout)
 //	cleand -workers 4 -queue 64    # bigger pool and queue
+//	cleand -store /var/lib/cleand  # durable: journal + crash recovery
+//	cleand -store d -chaos         # durable with /debug/chaos armed (tests only)
 //
 // A full queue rejects submissions with 429 and a Retry-After header;
 // SIGTERM (or SIGINT) drains: intake stops, queued and running jobs
 // finish and stay pollable until the drain completes, then the process
-// exits.
+// exits. With -store, every acknowledged job is journaled before its
+// 202 and a restart on the same directory re-enqueues whatever a crash
+// interrupted — results of re-executed jobs are byte-identical.
 package main
 
 import (
@@ -29,7 +33,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -41,18 +47,39 @@ func main() {
 		queue        = flag.Int("queue", 16, "job queue capacity (full queue → 429)")
 		runpar       = flag.Int("runpar", 0, "per-job seed fan-out parallelism (0 = workers)")
 		maxSteps     = flag.Uint64("maxsteps", 0, "default per-run scheduler budget (0 = server default)")
-		retryAfter   = flag.Duration("retryafter", time.Second, "Retry-After hint on queue-full rejections")
+		retryAfter   = flag.Duration("retryafter", time.Second, "base Retry-After hint on queue-full rejections (scaled by occupancy)")
 		drainTimeout = flag.Duration("draintimeout", 60*time.Second, "how long SIGTERM waits for in-flight jobs")
+		storeDir     = flag.String("store", "", "journal directory for durable jobs ('' = memory only)")
+		chaos        = flag.Bool("chaos", false, "mount POST /debug/chaos for fault injection (soak tests only)")
+		readTimeout  = flag.Duration("readtimeout", 30*time.Second, "HTTP read timeout (whole request)")
+		idleTimeout  = flag.Duration("idletimeout", 2*time.Minute, "HTTP keep-alive idle timeout")
 	)
 	flag.Parse()
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		RunParallelism:  *runpar,
 		DefaultMaxSteps: *maxSteps,
 		RetryAfter:      *retryAfter,
-	})
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		cfg.Store = st
+	}
+	if *chaos {
+		cfg.Chaos = faults.NewServiceInjector()
+		log.Printf("chaos endpoint armed: POST /debug/chaos accepts fault budgets")
+	}
+
+	srv := service.New(cfg)
+	if h := srv.Health(); h.Durable {
+		log.Printf("store %s: recovered %d interrupted job(s)", *storeDir, h.RecoveredJobs)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -61,6 +88,10 @@ func main() {
 	httpSrv := &http.Server{
 		Handler:           service.Handler(srv),
 		ReadHeaderTimeout: 10 * time.Second,
+		// ReadTimeout bounds slow request bodies; IdleTimeout reaps idle
+		// keep-alive connections so a leaky client cannot pin sockets.
+		ReadTimeout: *readTimeout,
+		IdleTimeout: *idleTimeout,
 		// WriteTimeout must clear the ?wait long-poll budget.
 		WriteTimeout: service.DefaultWait + 10*time.Second,
 	}

@@ -180,7 +180,11 @@ func main() {
 // client and prints the same outcome summary as a local run. The
 // server's witness and determinism hash match an in-process run of the
 // same configuration byte for byte — remote adds transport, not
-// semantics.
+// semantics. The client retries 429/503 rejections with backoff
+// (honoring the server's Retry-After) before giving up, so a briefly
+// saturated server delays the run instead of failing it; the
+// idempotency key attached to the submission keeps those retries from
+// double-running the job.
 func runRemote(base, det string, detsync bool, seed int64, maxSteps uint64, name, scale, variant, report string) {
 	ctx := context.Background()
 	c := service.NewClient(base)

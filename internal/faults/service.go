@@ -1,0 +1,141 @@
+package faults
+
+// Service-level fault injection: where the machine-level Plan/Injector
+// attacks a single deterministic run, the ServiceInjector attacks the
+// serving layer around it — worker panics, store write failures, and
+// worker stalls that build queue pressure. It is armed at runtime
+// (cmd/cleand's /debug/chaos endpoint) and consumed by internal/service
+// at three hook points; cmd/cleanstress drives it mid-soak and asserts
+// the degradation stays graceful: contained panics with one requeue,
+// 503s on store errors, 429s only while the stall window is open, and
+// zero lost acknowledged jobs throughout.
+//
+// Unlike the machine-level plans these injections are not replayed
+// deterministically — they model an unreliable host, and the recovery
+// guarantee under test (deterministic re-execution from the journal) is
+// exactly what absorbs their nondeterminism.
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrInjectedStore is the error injected store appends fail with; the
+// service maps it onto a 503 like any other store failure.
+var ErrInjectedStore = errors.New("faults: injected store write error")
+
+// ServicePlan arms a ServiceInjector: counts are budgets consumed as
+// they fire, the stall is a wall-clock window starting when the plan is
+// armed. Arming merges into whatever is still outstanding.
+type ServicePlan struct {
+	// WorkerPanics is how many job executions should panic in the
+	// worker.
+	WorkerPanics int
+	// StoreErrors is how many store appends should fail.
+	StoreErrors int
+	// StallFor holds every worker idle for this window.
+	StallFor time.Duration
+}
+
+// ServiceInjector is the runtime switchboard the service consults. The
+// zero value is valid and injects nothing until armed; all methods are
+// safe for concurrent use.
+type ServiceInjector struct {
+	mu          sync.Mutex
+	panics      int
+	storeErrs   int
+	stallUntil  time.Time
+	panicsFired uint64
+	storeFired  uint64
+}
+
+// NewServiceInjector returns an unarmed injector.
+func NewServiceInjector() *ServiceInjector { return &ServiceInjector{} }
+
+// Arm merges p into the outstanding budgets and opens/extends the stall
+// window from now.
+func (si *ServiceInjector) Arm(p ServicePlan) {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	si.panics += p.WorkerPanics
+	si.storeErrs += p.StoreErrors
+	if p.StallFor > 0 {
+		until := time.Now().Add(p.StallFor)
+		if until.After(si.stallUntil) {
+			si.stallUntil = until
+		}
+	}
+}
+
+// PanicJob consumes one worker-panic budget; the worker panics when it
+// returns true.
+func (si *ServiceInjector) PanicJob() bool {
+	if si == nil {
+		return false
+	}
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	if si.panics <= 0 {
+		return false
+	}
+	si.panics--
+	si.panicsFired++
+	return true
+}
+
+// StoreErr consumes one store-error budget, returning ErrInjectedStore
+// when the append should fail and nil otherwise.
+func (si *ServiceInjector) StoreErr() error {
+	if si == nil {
+		return nil
+	}
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	if si.storeErrs <= 0 {
+		return nil
+	}
+	si.storeErrs--
+	si.storeFired++
+	return ErrInjectedStore
+}
+
+// StallRemaining reports how much of the worker-stall window is left;
+// workers sleep it off in small slices so drains stay responsive.
+func (si *ServiceInjector) StallRemaining() time.Duration {
+	if si == nil {
+		return 0
+	}
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	if d := time.Until(si.stallUntil); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Armed reports the outstanding budgets and window — the /debug/chaos
+// acknowledgment.
+func (si *ServiceInjector) Armed() (panics, storeErrs int, stall time.Duration) {
+	if si == nil {
+		return 0, 0, 0
+	}
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	stall = time.Until(si.stallUntil)
+	if stall < 0 {
+		stall = 0
+	}
+	return si.panics, si.storeErrs, stall
+}
+
+// Fired reports how many panics and store errors have actually fired,
+// for tests and metrics.
+func (si *ServiceInjector) FiredCounts() (panics, storeErrs uint64) {
+	if si == nil {
+		return 0, 0
+	}
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	return si.panicsFired, si.storeFired
+}

@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServiceInjectorBudgets: counts are consumed exactly, nil and
+// unarmed injectors inject nothing.
+func TestServiceInjectorBudgets(t *testing.T) {
+	var nilSI *ServiceInjector
+	if nilSI.PanicJob() || nilSI.StoreErr() != nil || nilSI.StallRemaining() != 0 {
+		t.Fatal("nil injector injected something")
+	}
+
+	si := NewServiceInjector()
+	if si.PanicJob() || si.StoreErr() != nil {
+		t.Fatal("unarmed injector injected something")
+	}
+	si.Arm(ServicePlan{WorkerPanics: 2, StoreErrors: 1})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if si.PanicJob() {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Errorf("%d panics fired, want 2", fired)
+	}
+	if err := si.StoreErr(); err != ErrInjectedStore {
+		t.Errorf("first store error = %v, want ErrInjectedStore", err)
+	}
+	if err := si.StoreErr(); err != nil {
+		t.Errorf("second store error = %v, want nil", err)
+	}
+	p, s, _ := si.Armed()
+	if p != 0 || s != 0 {
+		t.Errorf("armed after exhaustion: %d panics %d store errors", p, s)
+	}
+	fp, fs := si.FiredCounts()
+	if fp != 2 || fs != 1 {
+		t.Errorf("fired counts %d/%d, want 2/1", fp, fs)
+	}
+}
+
+// TestServiceInjectorStallWindow: the window opens on Arm, reports a
+// shrinking remainder, and closes.
+func TestServiceInjectorStallWindow(t *testing.T) {
+	si := NewServiceInjector()
+	si.Arm(ServicePlan{StallFor: 50 * time.Millisecond})
+	if d := si.StallRemaining(); d <= 0 || d > 50*time.Millisecond {
+		t.Errorf("remaining %v just after arming", d)
+	}
+	// Arming a shorter window never shrinks an open one.
+	si.Arm(ServicePlan{StallFor: time.Millisecond})
+	if d := si.StallRemaining(); d < 10*time.Millisecond {
+		t.Errorf("remaining %v after re-arm, window shrank", d)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for si.StallRemaining() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stall window never closed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServiceInjectorConcurrent hammers the budgets from many
+// goroutines; exactly the armed number fire.
+func TestServiceInjectorConcurrent(t *testing.T) {
+	si := NewServiceInjector()
+	si.Arm(ServicePlan{WorkerPanics: 100, StoreErrors: 100})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	panics, errs := 0, 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p := si.PanicJob()
+				e := si.StoreErr() != nil
+				mu.Lock()
+				if p {
+					panics++
+				}
+				if e {
+					errs++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if panics != 100 || errs != 100 {
+		t.Errorf("fired %d panics %d errors, want 100 each", panics, errs)
+	}
+}

@@ -3,8 +3,12 @@ package service
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
+	mathrand "math/rand"
 	"net/http"
 	"net/url"
 	"time"
@@ -12,18 +16,97 @@ import (
 	apiv1 "repro/api/v1"
 )
 
+// Client retry defaults: a handful of attempts with exponential backoff
+// is enough to ride out a queue-pressure spike or a transient store
+// failure without turning a dead server into a hang.
+const (
+	defaultMaxAttempts    = 4
+	defaultBackoffBase    = 200 * time.Millisecond
+	defaultBackoffCap     = 5 * time.Second
+	defaultRequestTimeout = 2 * DefaultWait // must exceed the server's long-poll budget
+)
+
 // Client is the thin Go client of the v1 detection API; cleanrun's
 // -remote mode runs through it. It speaks only api/v1 documents — the
 // detector implementation never crosses the wire.
+//
+// Retries are on by default: a 429 (queue full) or 503 (store failure,
+// draining) response is retried with exponential backoff and jitter,
+// honoring the server's Retry-After when it sends one. Retrying a
+// submission is safe because Submit attaches an idempotency key — a
+// duplicate that does land twice returns the original job.
 type Client struct {
-	base string
-	http *http.Client
+	base        string
+	http        *http.Client
+	maxAttempts int
+	backoffBase time.Duration
+	backoffCap  time.Duration
+	timeout     time.Duration // per attempt; 0 = none
+}
+
+// ClientOption customizes a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client.
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.http = h }
+}
+
+// WithRetryPolicy sets the retry envelope: total attempts (including
+// the first) and the exponential backoff base and cap.
+func WithRetryPolicy(maxAttempts int, base, cap time.Duration) ClientOption {
+	return func(c *Client) {
+		if maxAttempts > 0 {
+			c.maxAttempts = maxAttempts
+		}
+		if base > 0 {
+			c.backoffBase = base
+		}
+		if cap > 0 {
+			c.backoffCap = cap
+		}
+	}
+}
+
+// WithoutRetries disables retries: every 429/503 surfaces immediately.
+// Tests asserting raw backpressure behavior use this.
+func WithoutRetries() ClientOption {
+	return func(c *Client) { c.maxAttempts = 1 }
+}
+
+// WithRequestTimeout bounds each attempt (not the whole retry loop);
+// pass 0 to disable. The default is twice the server's long-poll cap so
+// a ?wait= poll never trips it.
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
 }
 
 // NewClient returns a client for a cleand server, e.g.
 // NewClient("http://localhost:7319").
-func NewClient(base string) *Client {
-	return &Client{base: base, http: &http.Client{}}
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:        base,
+		http:        &http.Client{},
+		maxAttempts: defaultMaxAttempts,
+		backoffBase: defaultBackoffBase,
+		backoffCap:  defaultBackoffCap,
+		timeout:     defaultRequestTimeout,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// NewIdempotencyKey returns a fresh random submission key.
+func NewIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back to
+		// a time-based key rather than panicking in a client library.
+		return fmt.Sprintf("k-%d", time.Now().UnixNano())
+	}
+	return "k-" + hex.EncodeToString(b[:])
 }
 
 // CreateSession opens a detection session.
@@ -54,13 +137,21 @@ func (c *Client) CloseSession(ctx context.Context, id string) (*apiv1.Session, e
 	return &sess, checkKind(sess.Schema, sess.Kind, apiv1.KindSession)
 }
 
-// Submit enqueues a job. A full server queue surfaces as a *v1.Error
-// with Status 429 and RetryAfterSeconds set.
+// Submit enqueues a job under a fresh idempotency key, so the retry
+// loop (and any caller-level retry) cannot double-run it. With retries
+// exhausted, a full server queue surfaces as a *v1.Error with Status
+// 429 and RetryAfterSeconds set.
 func (c *Client) Submit(ctx context.Context, sessionID string, spec apiv1.JobSpec) (*apiv1.Job, error) {
+	return c.SubmitWithKey(ctx, sessionID, spec, NewIdempotencyKey())
+}
+
+// SubmitWithKey enqueues a job under the caller's idempotency key; a
+// repeat submission with the same key returns the original job.
+func (c *Client) SubmitWithKey(ctx context.Context, sessionID string, spec apiv1.JobSpec, key string) (*apiv1.Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	req := apiv1.SubmitJobRequest{Schema: apiv1.SchemaVersion, Job: spec}
+	req := apiv1.SubmitJobRequest{Schema: apiv1.SchemaVersion, Job: spec, IdempotencyKey: key}
 	var job apiv1.Job
 	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+"/jobs", &req, &job); err != nil {
 		return nil, err
@@ -119,6 +210,18 @@ func (c *Client) Health(ctx context.Context) (*apiv1.Health, error) {
 	return &h, checkKind(h.Schema, h.Kind, apiv1.KindHealth)
 }
 
+// ArmChaos posts fault budgets to /debug/chaos — mounted only when the
+// server runs with -chaos — and returns the acknowledged outstanding
+// budgets. cleanstress uses it to attack a soak mid-flight.
+func (c *Client) ArmChaos(ctx context.Context, plan apiv1.ChaosRequest) (*apiv1.Chaos, error) {
+	plan.Schema = apiv1.SchemaVersion
+	var ack apiv1.Chaos
+	if err := c.do(ctx, http.MethodPost, "/debug/chaos", &plan, &ack); err != nil {
+		return nil, err
+	}
+	return &ack, checkKind(ack.Schema, ack.Kind, apiv1.KindChaos)
+}
+
 // Metrics fetches /metrics.
 func (c *Client) Metrics(ctx context.Context) (*apiv1.Metrics, error) {
 	var m apiv1.Metrics
@@ -128,9 +231,55 @@ func (c *Client) Metrics(ctx context.Context) (*apiv1.Metrics, error) {
 	return &m, checkKind(m.Schema, m.Kind, apiv1.KindMetrics)
 }
 
-// do performs one round trip: encode the request document, decode the
-// response strictly, and turn any non-2xx envelope into a *v1.Error.
+// do performs the request with retries: each attempt is one round trip
+// via once; 429/503 envelopes are retried with exponential backoff and
+// jitter, honoring the server's Retry-After hint when present. Other
+// failures — including transport errors, where the server may have
+// acted — surface immediately; submissions survive caller-level retry
+// through their idempotency keys.
 func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	for attempt := 1; ; attempt++ {
+		err := c.once(ctx, method, path, in, out)
+		if err == nil || attempt >= c.maxAttempts {
+			return err
+		}
+		var e *apiv1.Error
+		if !errors.As(err, &e) || (e.Status != http.StatusTooManyRequests && e.Status != http.StatusServiceUnavailable) {
+			return err
+		}
+		delay := c.backoffBase << (attempt - 1)
+		if delay > c.backoffCap {
+			delay = c.backoffCap
+		}
+		if e.RetryAfterSeconds > 0 {
+			// The server's hint reflects real queue occupancy; trust it over
+			// the local schedule but keep the cap so a pathological hint
+			// cannot park the client.
+			if ra := time.Duration(e.RetryAfterSeconds) * time.Second; ra > delay {
+				delay = ra
+			}
+			if delay > c.backoffCap {
+				delay = c.backoffCap
+			}
+		}
+		// Full jitter decorrelates a thundering herd of retriers.
+		delay = time.Duration(mathrand.Int63n(int64(delay) + 1))
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return fmt.Errorf("cleand: retrying %s %s: %w (last: %v)", method, path, ctx.Err(), err)
+		}
+	}
+}
+
+// once performs one round trip: encode the request document, decode the
+// response strictly, and turn any non-2xx envelope into a *v1.Error.
+func (c *Client) once(ctx context.Context, method, path string, in, out interface{}) error {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
 	var body io.Reader
 	if in != nil {
 		data, err := apiv1.Encode(in)

@@ -1,0 +1,361 @@
+package service
+
+// Robustness tests for the durable/chaos-hardened server: idempotency
+// dedup, panic containment with a single requeue, wall-clock deadlines,
+// store-failure rejection, client retries, and in-process crash
+// recovery through a real FileStore. The cross-process SIGKILL variant
+// lives in the cmd/cleand e2e suite; these cover the same contracts at
+// the package boundary where failure injection is precise.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	apiv1 "repro/api/v1"
+	"repro/internal/faults"
+	"repro/internal/store"
+)
+
+// TestIdempotentSubmit: a repeat submission with the same key returns
+// the original job — same ID, no second execution.
+func TestIdempotentSubmit(t *testing.T) {
+	ctx := context.Background()
+	_, c := startTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionCLEAN, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := apiv1.JobSpec{Litmus: "waw"}
+	first, err := c.SubmitWithKey(ctx, sess.ID, spec, "stable-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.IdempotencyKey != "stable-key" {
+		t.Errorf("job echoes key %q, want stable-key", first.IdempotencyKey)
+	}
+	dup, err := c.SubmitWithKey(ctx, sess.ID, spec, "stable-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID != first.ID {
+		t.Fatalf("duplicate submission created job %s, want original %s", dup.ID, first.ID)
+	}
+	done, err := c.Wait(ctx, sess.ID, first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Still one job in the session, and it ran once.
+	got, err := c.Session(ctx, sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.JobsSubmitted != 1 || done.Attempts != 1 {
+		t.Errorf("session submitted=%d attempts=%d, want 1 and 1", got.JobsSubmitted, done.Attempts)
+	}
+	// A different key is a different job.
+	other, err := c.SubmitWithKey(ctx, sess.ID, spec, "other-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.ID == first.ID {
+		t.Error("distinct keys shared a job")
+	}
+}
+
+// TestPanicContainedWithRequeue: one injected worker panic fails the
+// attempt, the job is requeued once and completes with the same result
+// a clean run produces; two injected panics fail the job with a
+// structured contained-crash error — the process never dies either way.
+func TestPanicContainedWithRequeue(t *testing.T) {
+	ctx := context.Background()
+	si := faults.NewServiceInjector()
+	srv, c := startTestServer(t, Config{Workers: 1, QueueDepth: 8, Chaos: si})
+
+	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionCLEAN, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	si.Arm(faults.ServicePlan{WorkerPanics: 1})
+	job, err := c.Run(ctx, sess.ID, apiv1.JobSpec{Litmus: "waw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Attempts != 2 {
+		t.Errorf("attempts %d after one panic, want 2", job.Attempts)
+	}
+	if len(job.Runs) != 1 || job.Runs[0].Outcome != apiv1.OutcomeRaceException {
+		t.Fatalf("retried job runs %+v, want the litmus race witness", job.Runs)
+	}
+
+	si.Arm(faults.ServicePlan{WorkerPanics: 2})
+	crashed, err := c.Run(ctx, sess.ID, apiv1.JobSpec{Litmus: "waw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crashed.Runs) != 1 || crashed.Runs[0].Outcome != apiv1.OutcomeContainedCrash {
+		t.Fatalf("double-panic job runs %+v, want contained-crash", crashed.Runs)
+	}
+	if !strings.Contains(crashed.Runs[0].Error, "worker panic") {
+		t.Errorf("contained-crash error %q lacks panic context", crashed.Runs[0].Error)
+	}
+	if p, _ := si.FiredCounts(); p != 3 {
+		t.Errorf("%d injected panics fired, want 3", p)
+	}
+	snap := srv.Metrics().Metrics
+	if snap.Counters["service.worker_panics"] != 3 || snap.Counters["service.jobs_requeued"] != 2 {
+		t.Errorf("panic metrics %v", snap.Counters)
+	}
+}
+
+// TestDeadlineExceeded: a job whose wall-clock deadline passes while an
+// injected stall holds the workers completes with OutcomeDeadline
+// instead of running late or pinning a worker.
+func TestDeadlineExceeded(t *testing.T) {
+	ctx := context.Background()
+	si := faults.NewServiceInjector()
+	_, c := startTestServer(t, Config{Workers: 1, QueueDepth: 8, Chaos: si})
+
+	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionCLEAN, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	si.Arm(faults.ServicePlan{StallFor: 300 * time.Millisecond})
+	job, err := c.Run(ctx, sess.ID, apiv1.JobSpec{Litmus: "waw", DeadlineSeconds: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Runs) != 1 || job.Runs[0].Outcome != apiv1.OutcomeDeadline {
+		t.Fatalf("stalled job runs %+v, want deadline-exceeded", job.Runs)
+	}
+	// With the stall window closed the same deadline is generous.
+	ok, err := c.Run(ctx, sess.ID, apiv1.JobSpec{Litmus: "waw", DeadlineSeconds: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.Runs[0].Outcome != apiv1.OutcomeRaceException {
+		t.Errorf("post-stall outcome %q, want race-exception", ok.Runs[0].Outcome)
+	}
+}
+
+// TestStoreFailureRejectsSubmission: an injected journal failure on the
+// submission path surfaces as 503 + Retry-After, the job is not
+// acknowledged, and the next attempt (store healthy again) succeeds
+// under the same idempotency key.
+func TestStoreFailureRejectsSubmission(t *testing.T) {
+	ctx := context.Background()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := faults.NewServiceInjector()
+	srv, c := startTestServer(t, Config{Workers: 1, QueueDepth: 8, Store: st, Chaos: si})
+	raw := NewClient(c.base, WithoutRetries())
+
+	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionNone, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	si.Arm(faults.ServicePlan{StoreErrors: 1})
+	_, err = raw.SubmitWithKey(ctx, sess.ID, apiv1.JobSpec{Litmus: "waw"}, "k-retry")
+	var apiErr *apiv1.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("submit under store failure: %v, want 503 envelope", err)
+	}
+	if apiErr.RetryAfterSeconds < 1 {
+		t.Errorf("503 RetryAfterSeconds %d, want >= 1", apiErr.RetryAfterSeconds)
+	}
+	// Nothing was acknowledged: the session has no jobs.
+	if doc, err := c.Session(ctx, sess.ID); err != nil || doc.JobsSubmitted != 0 {
+		t.Fatalf("after rejected submit: %+v, %v (want 0 jobs)", doc, err)
+	}
+	// The retrying client path: same key, healthy store, job runs.
+	job, err := c.SubmitWithKey(ctx, sess.ID, apiv1.JobSpec{Litmus: "waw"}, "k-retry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, sess.ID, job.ID); err != nil {
+		t.Fatal(err)
+	}
+	snap := srv.Metrics().Metrics
+	if snap.Counters["service.store_errors"] != 1 {
+		t.Errorf("store_errors %d, want 1", snap.Counters["service.store_errors"])
+	}
+}
+
+// TestClientRetriesHonorRetryAfter: the client retries 429s with the
+// server's hint and succeeds once capacity frees up; the server sees
+// every attempt.
+func TestClientRetriesHonorRetryAfter(t *testing.T) {
+	ctx := context.Background()
+	attempts := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions/{id}/jobs", func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts <= 2 {
+			e := apiv1.NewError(http.StatusTooManyRequests, "queue full")
+			e.RetryAfterSeconds = 1
+			w.Header().Set("Retry-After", "1")
+			writeError(w, e)
+			return
+		}
+		writeDoc(w, http.StatusAccepted, &apiv1.Job{
+			Schema: apiv1.SchemaVersion, Kind: apiv1.KindJob,
+			ID: "j-1", Session: r.PathValue("id"), State: apiv1.JobQueued,
+			Spec: apiv1.JobSpec{Litmus: "waw"},
+		})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// A tight cap keeps the test fast while still exercising the hint
+	// path (1s hint > 20ms cap → clamped to the cap).
+	c := NewClient(ts.URL, WithRetryPolicy(4, 5*time.Millisecond, 20*time.Millisecond))
+	job, err := c.Submit(ctx, "s-1", apiv1.JobSpec{Litmus: "waw"})
+	if err != nil {
+		t.Fatalf("submit through retries: %v", err)
+	}
+	if job.ID != "j-1" || attempts != 3 {
+		t.Errorf("job %s after %d attempts, want j-1 after 3", job.ID, attempts)
+	}
+
+	// Retries exhausted: the 429 surfaces.
+	attempts = -100
+	_, err = NewClient(ts.URL, WithRetryPolicy(2, time.Millisecond, 2*time.Millisecond)).
+		Submit(ctx, "s-1", apiv1.JobSpec{Litmus: "waw"})
+	var apiErr *apiv1.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("exhausted retries: %v, want 429 envelope", err)
+	}
+}
+
+// TestRecoveryReplaysInterruptedJobs is the in-process half of the
+// crash-recovery acceptance: jobs acknowledged but unfinished when the
+// process dies are re-enqueued from the journal on boot and produce
+// results byte-identical to an uninterrupted run; finished jobs are
+// served from the store without re-running.
+func TestRecoveryReplaysInterruptedJobs(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	cfg := apiv1.SessionConfig{Detection: apiv1.DetectionCLEAN, Seed: 7}
+
+	// The uninterrupted reference run, memory-only.
+	_, ref := startTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	refSess, err := ref.CreateSession(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRace, err := ref.Run(ctx, refSess.ID, apiv1.JobSpec{Litmus: "waw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refClean, err := ref.Run(ctx, refSess.ID, apiv1.JobSpec{Litmus: "locked-counter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Server A accepts three jobs but its workers never start; the
+	// process "dies" with one done (none here), two queued. Closing the
+	// store models the crash boundary: everything acknowledged is on
+	// disk, nothing else.
+	stA, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := newServer(Config{Workers: 1, QueueDepth: 8, Store: stA})
+	sessA, err := srvA.CreateSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobRace, err := srvA.Submit(sessA.ID, apiv1.JobSpec{Litmus: "waw"}, "key-race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobClean, err := srvA.Submit(sessA.ID, apiv1.JobSpec{Litmus: "locked-counter"}, "key-clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server B boots from the same directory, recovers, and runs.
+	stB, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB := New(Config{Workers: 2, QueueDepth: 8, Store: stB})
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := srvB.Drain(dctx); err != nil {
+			t.Error(err)
+		}
+		if err := stB.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if h := srvB.Health(); !h.Durable || h.RecoveredJobs != 2 {
+		t.Fatalf("health after recovery: %+v, want durable with 2 recovered jobs", h)
+	}
+
+	gotRace, err := srvB.Job(sessA.ID, jobRace.ID, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotClean, err := srvB.Job(sessA.ID, jobClean.ID, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte-identical to the uninterrupted run: same witness, same
+	// determinism hash (elapsed wall time necessarily differs).
+	if w, rw := gotRace.Runs[0].Witness, refRace.Runs[0].Witness; w == nil || rw == nil || *w != *rw {
+		t.Errorf("recovered witness %+v, reference %+v", w, rw)
+	}
+	if h, rh := gotClean.Runs[0].DeterminismHash, refClean.Runs[0].DeterminismHash; h == "" || h != rh {
+		t.Errorf("recovered determinism hash %q, reference %q", h, rh)
+	}
+	// Idempotency keys survive recovery: a repeat submission dedups
+	// against the recovered (now done) job.
+	dup, err := srvB.Submit(sessA.ID, apiv1.JobSpec{Litmus: "waw"}, "key-race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID != jobRace.ID {
+		t.Errorf("post-recovery duplicate got job %s, want %s", dup.ID, jobRace.ID)
+	}
+
+	// Third boot: everything is done, nothing requeues, results are
+	// served straight from the journal without re-execution.
+	if err := srvB.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := stB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stC, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvC := newServer(Config{Workers: 1, QueueDepth: 8, Store: stC})
+	if h := srvC.Health(); h.RecoveredJobs != 0 {
+		t.Errorf("third boot recovered %d jobs, want 0", h.RecoveredJobs)
+	}
+	done, err := srvC.Job(sessA.ID, jobRace.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != apiv1.JobDone || done.Runs[0].Witness == nil ||
+		*done.Runs[0].Witness != *refRace.Runs[0].Witness {
+		t.Errorf("stored result %+v, want the reference witness", done.Runs)
+	}
+	if err := stC.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	apiv1 "repro/api/v1"
+	"repro/internal/faults"
 )
 
 // MaxRequestBody bounds request documents; programs in the text IR are
@@ -28,6 +29,7 @@ const DefaultWait = 30 * time.Second
 //	GET    /v1/sessions/{id}/jobs/{job}  fetch a job; ?wait=5s long-polls
 //	GET    /healthz                      liveness + queue occupancy
 //	GET    /metrics                      the server's own metric snapshot
+//	POST   /debug/chaos                  arm fault injection (only with a Chaos injector)
 //
 // Every response body is an api/v1 document; every non-2xx response is a
 // v1.Error envelope.
@@ -40,6 +42,11 @@ func Handler(s *Server) http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/jobs/{job}", s.handleGetJob)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.chaos != nil {
+		// Deliberately absent unless cleand was started with -chaos: a
+		// production server has no fault-injection surface at all.
+		mux.HandleFunc("POST /debug/chaos", s.handleChaos)
+	}
 	return mux
 }
 
@@ -89,7 +96,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("request schema %d, server speaks %d", req.Schema, apiv1.SchemaVersion)))
 		return
 	}
-	job, err := s.Submit(r.PathValue("id"), req.Job)
+	job, err := s.Submit(r.PathValue("id"), req.Job, req.IdempotencyKey)
 	if err != nil {
 		writeServiceError(w, s, err)
 		return
@@ -128,6 +135,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeDoc(w, http.StatusOK, s.Metrics())
 }
 
+// handleChaos arms the service-level fault injector (cleanstress's
+// mid-soak hook) and acknowledges with the outstanding budgets.
+func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
+	var req apiv1.ChaosRequest
+	if !readRequest(w, r, &req) {
+		return
+	}
+	if req.Schema != apiv1.SchemaVersion {
+		writeError(w, apiv1.NewError(http.StatusBadRequest,
+			fmt.Sprintf("request schema %d, server speaks %d", req.Schema, apiv1.SchemaVersion)))
+		return
+	}
+	if req.WorkerPanics < 0 || req.StoreErrors < 0 || req.StallSeconds < 0 {
+		writeError(w, apiv1.NewError(http.StatusBadRequest, "chaos budgets must be non-negative"))
+		return
+	}
+	s.chaos.Arm(faults.ServicePlan{
+		WorkerPanics: req.WorkerPanics,
+		StoreErrors:  req.StoreErrors,
+		StallFor:     time.Duration(req.StallSeconds * float64(time.Second)),
+	})
+	panics, storeErrs, stall := s.chaos.Armed()
+	writeDoc(w, http.StatusOK, &apiv1.Chaos{
+		Schema:                apiv1.SchemaVersion,
+		Kind:                  apiv1.KindChaos,
+		WorkerPanics:          panics,
+		StoreErrors:           storeErrs,
+		StallSecondsRemaining: stall.Seconds(),
+	})
+}
+
 // readRequest decodes a strict JSON request body into v; on failure it
 // writes the 400 envelope and returns false.
 func readRequest(w http.ResponseWriter, r *http.Request, v interface{}) bool {
@@ -152,13 +190,20 @@ func readRequest(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 // and the v1.Error envelope.
 func writeServiceError(w http.ResponseWriter, s *Server, err error) {
 	var bad *BadRequestError
+	var se *StoreError
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		retry := int(s.RetryAfter().Round(time.Second) / time.Second)
-		if retry < 1 {
-			retry = 1
-		}
+		retry := s.RetryAfterSeconds()
 		e := apiv1.NewError(http.StatusTooManyRequests, err.Error())
+		e.RetryAfterSeconds = retry
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, e)
+	case errors.As(err, &se):
+		// The journal append failed, so nothing acknowledged the job; 503
+		// with Retry-After invites a retry, which the idempotency key makes
+		// safe even if this write did land.
+		retry := s.RetryAfterSeconds()
+		e := apiv1.NewError(http.StatusServiceUnavailable, err.Error())
 		e.RetryAfterSeconds = retry
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, e)

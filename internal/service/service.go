@@ -10,26 +10,38 @@
 // produces locally: the service adds transport, not semantics.
 //
 // Backpressure is explicit: the job queue is a bounded channel, a full
-// queue rejects the submission (the HTTP layer maps that to 429 with
-// Retry-After), and Drain stops intake, lets queued and running jobs
-// finish, and only then releases the workers — the SIGTERM path of
-// cmd/cleand.
+// queue rejects the submission (the HTTP layer maps that to 429 with a
+// queue-depth-aware Retry-After), and Drain stops intake, lets queued
+// and running jobs finish, and only then releases the workers — the
+// SIGTERM path of cmd/cleand.
+//
+// Durability is pluggable: with a store.JobStore configured, every
+// acknowledged submission is journaled (fsynced) before the 202 leaves
+// the server, state transitions and results follow it, and a restarted
+// server replays the journal, re-enqueues the jobs that were queued or
+// running at crash time, and serves completed results from the store.
+// Because runs are deterministic, a re-executed job reproduces its
+// witness and determinism hash byte-identically — at-least-once
+// execution with idempotency-key dedup looks exactly-once to clients.
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"time"
 
 	clean "repro"
 	apiv1 "repro/api/v1"
+	"repro/internal/faults"
 	"repro/internal/gofront"
 	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/prog"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/vclock"
 )
@@ -49,9 +61,17 @@ type Config struct {
 	// session does not set one; it keeps a livelocked submission from
 	// pinning a worker forever (default: harness.DefaultMaxSteps).
 	DefaultMaxSteps uint64
-	// RetryAfter is the client backoff hint attached to queue-full
-	// rejections (default 1s).
+	// RetryAfter is the base client backoff hint attached to queue-full
+	// and store-failure rejections (default 1s); the advertised value
+	// scales with queue occupancy.
 	RetryAfter time.Duration
+	// Store persists sessions, jobs and results; nil runs memory-only
+	// (a crash loses everything, the pre-durability behavior).
+	Store store.JobStore
+	// Chaos is the service-level fault injector consulted by workers and
+	// store writes; nil injects nothing. cmd/cleand -chaos arms it over
+	// /debug/chaos.
+	Chaos *faults.ServiceInjector
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +107,15 @@ var (
 	ErrSessionClosed = errors.New("service: session closed")
 )
 
+// StoreError wraps a persistence failure on the submission path: the
+// job was NOT accepted (nothing durable acknowledges it), so the
+// transport maps it to 503 with Retry-After and the client retries —
+// safely, because retried submissions carry idempotency keys.
+type StoreError struct{ Err error }
+
+func (e *StoreError) Error() string { return "service: store: " + e.Err.Error() }
+func (e *StoreError) Unwrap() error { return e.Err }
+
 // BadRequestError wraps a request-shape problem (invalid config, invalid
 // job spec) so the transport can map it to 400.
 type BadRequestError struct{ Err error }
@@ -105,31 +134,46 @@ type session struct {
 	detection clean.Detection
 	state     string // "active" or "closed"
 	jobs      map[string]*job
+	byKey     map[string]*job // idempotency key → job
 	submitted int
 	done      int
 }
 
 // job is the server-side state of one submitted job.
 type job struct {
-	id    string
-	sess  *session
-	spec  apiv1.JobSpec
-	prog  *prog.Program // resolved program for program/litmus jobs
-	state string        // apiv1.JobQueued / JobRunning / JobDone
-	runs  []apiv1.RunResult
-	done  chan struct{} // closed when state reaches JobDone
+	id       string
+	sess     *session
+	spec     apiv1.JobSpec
+	idemKey  string
+	prog     *prog.Program // resolved program for program/litmus jobs
+	state    string        // apiv1.JobQueued / JobRunning / JobDone
+	attempts int           // executions started (2 after a panic requeue)
+	accepted time.Time
+	deadline time.Time // zero = no wall-clock deadline
+	panicVal interface{}
+	runs     []apiv1.RunResult
+	done     chan struct{} // closed when state reaches JobDone
+}
+
+// expired reports whether the job's wall-clock deadline has passed.
+func (j *job) expired() bool {
+	return !j.deadline.IsZero() && time.Now().After(j.deadline)
 }
 
 // Server owns the sessions, the job queue and the worker pool. All
 // methods are safe for concurrent use.
 type Server struct {
-	cfg Config
+	cfg   Config
+	store store.JobStore          // nil = memory only
+	chaos *faults.ServiceInjector // nil = no injection
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	nextSess int
-	nextJob  int
-	draining bool
+	mu        sync.Mutex
+	sessions  map[string]*session
+	nextSess  int
+	nextJob   int
+	draining  bool
+	reserved  int // submissions past the capacity check, not yet enqueued
+	recovered int // jobs re-enqueued from the store at boot
 
 	queue     chan *job
 	inFlight  sync.WaitGroup // accepted jobs not yet done
@@ -143,7 +187,8 @@ type Server struct {
 	metrics   *clean.Metrics
 }
 
-// New builds a server and starts its worker pool.
+// New builds a server — recovering state from the configured store, if
+// any — and starts its worker pool.
 func New(cfg Config) *Server {
 	s := newServer(cfg)
 	s.workers.Add(s.cfg.Workers)
@@ -154,15 +199,173 @@ func New(cfg Config) *Server {
 }
 
 // newServer builds the server without starting workers; tests use it to
-// exercise queue saturation deterministically.
+// exercise queue saturation deterministically. With a store configured
+// it replays the journal and re-enqueues interrupted jobs.
 func newServer(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg.withDefaults(),
 		sessions: make(map[string]*session),
 		metrics:  clean.NewMetrics(),
 	}
-	s.queue = make(chan *job, s.cfg.QueueDepth)
+	s.store = s.cfg.Store
+	s.chaos = s.cfg.Chaos
+	if s.store != nil && s.chaos != nil {
+		s.store = chaosStore{JobStore: s.store, si: s.chaos}
+	}
+
+	var requeue []*job
+	if s.store != nil {
+		requeue = s.recover(s.store.State())
+	}
+	depth := s.cfg.QueueDepth
+	// The recovered backlog must fit: boot enqueue never blocks and
+	// never drops an acknowledged job.
+	if len(requeue) > depth {
+		depth = len(requeue)
+	}
+	s.queue = make(chan *job, depth)
+	for _, j := range requeue {
+		s.inFlight.Add(1)
+		s.queue <- j
+	}
+	s.recovered = len(requeue)
 	return s
+}
+
+// recover rebuilds sessions and jobs from the store's replayed state
+// and returns the jobs to re-enqueue: everything acknowledged but not
+// done at crash time, in submission order. Done jobs keep their results
+// and stay pollable; a job whose spec no longer resolves (a renamed
+// litmus, say) completes with an error result rather than vanishing.
+func (s *Server) recover(st *store.State) []*job {
+	for _, sr := range st.Sessions {
+		sess := &session{
+			id:    sr.ID,
+			cfg:   sr.Config,
+			state: sr.State,
+			jobs:  make(map[string]*job),
+			byKey: make(map[string]*job),
+		}
+		det, err := clean.ParseDetection(sr.Config.Detection)
+		if err != nil {
+			// The journal predates a detector rename; the session cannot
+			// run new jobs but its documents stay readable.
+			sess.state = "closed"
+		} else {
+			sess.detection = det
+		}
+		s.sessions[sess.id] = sess
+	}
+	var requeue []*job
+	for _, jr := range st.Jobs {
+		sess, ok := s.sessions[jr.Session]
+		if !ok {
+			continue // a job record without its session record cannot run
+		}
+		j := &job{
+			id:       jr.ID,
+			sess:     sess,
+			spec:     jr.Spec,
+			idemKey:  jr.IdempotencyKey,
+			state:    jr.State,
+			attempts: jr.Attempts,
+			accepted: time.Now(),
+			runs:     jr.Runs,
+			done:     make(chan struct{}),
+		}
+		if jr.Spec.DeadlineSeconds > 0 {
+			// The original acceptance time is gone with the crash; restart
+			// the budget so recovery itself cannot expire every job.
+			j.deadline = j.accepted.Add(time.Duration(jr.Spec.DeadlineSeconds * float64(time.Second)))
+		}
+		sess.jobs[j.id] = j
+		if j.idemKey != "" {
+			sess.byKey[j.idemKey] = j
+		}
+		sess.submitted++
+		switch jr.State {
+		case apiv1.JobDone:
+			sess.done++
+			close(j.done)
+		default: // queued or running at crash time: run it (again)
+			j.state = apiv1.JobQueued
+			if p, err := s.resolveSpec(j.spec); err != nil {
+				j.state = apiv1.JobDone
+				j.runs = []apiv1.RunResult{{
+					Outcome: apiv1.OutcomeError,
+					Error:   fmt.Sprintf("service: recovered job no longer runnable: %v", err),
+				}}
+				sess.done++
+				close(j.done)
+			} else {
+				j.prog = p
+				requeue = append(requeue, j)
+			}
+		}
+	}
+	s.nextSess = st.NextSession
+	s.nextJob = st.NextJob
+	return requeue
+}
+
+// chaosStore fails store appends on command from the service injector.
+type chaosStore struct {
+	store.JobStore
+	si *faults.ServiceInjector
+}
+
+func (c chaosStore) PutSession(rec store.SessionRecord, durable bool) error {
+	if err := c.si.StoreErr(); err != nil {
+		return err
+	}
+	return c.JobStore.PutSession(rec, durable)
+}
+
+func (c chaosStore) PutJob(rec store.JobRecord, durable bool) error {
+	if err := c.si.StoreErr(); err != nil {
+		return err
+	}
+	return c.JobStore.PutJob(rec, durable)
+}
+
+// putSession persists the session's current state; callers must NOT
+// hold s.mu (the store fsyncs).
+func (s *Server) putSession(sess *session, durable bool) error {
+	if s.store == nil {
+		return nil
+	}
+	s.mu.Lock()
+	rec := store.SessionRecord{ID: sess.id, State: sess.state, Config: sess.cfg}
+	s.mu.Unlock()
+	return s.store.PutSession(rec, durable)
+}
+
+// putJob persists the job's current state; callers must NOT hold s.mu.
+func (s *Server) putJob(j *job, durable bool) error {
+	if s.store == nil {
+		return nil
+	}
+	s.mu.Lock()
+	rec := store.JobRecord{
+		ID:             j.id,
+		Session:        j.sess.id,
+		IdempotencyKey: j.idemKey,
+		Spec:           j.spec,
+		State:          j.state,
+		Attempts:       j.attempts,
+		Runs:           append([]apiv1.RunResult(nil), j.runs...),
+	}
+	s.mu.Unlock()
+	return s.store.PutJob(rec, durable)
+}
+
+// putJobBestEffort persists a non-critical transition (running, done):
+// a failure is counted, not surfaced — the in-memory state is correct
+// and a crash merely re-runs a deterministic job.
+func (s *Server) putJobBestEffort(j *job, durable bool) {
+	if err := s.putJob(j, durable); err != nil {
+		s.count("service.store_errors")
+	}
 }
 
 func (s *Server) count(name string) {
@@ -183,13 +386,13 @@ func (s *Server) CreateSession(cfg apiv1.SessionConfig) (*apiv1.Session, error) 
 	if err != nil {
 		return nil, &BadRequestError{Err: err}
 	}
-	if _, err := clean.NewConfig(s.runOptions(cfg, det, cfg.Seed, nil)...); err != nil {
+	if _, err := clean.NewConfig(s.runOptions(cfg, det, cfg.Seed, nil, s.effMaxSteps(cfg, 0))...); err != nil {
 		return nil, &BadRequestError{Err: err}
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
+		s.mu.Unlock()
 		return nil, ErrDraining
 	}
 	s.nextSess++
@@ -199,9 +402,23 @@ func (s *Server) CreateSession(cfg apiv1.SessionConfig) (*apiv1.Session, error) 
 		detection: det,
 		state:     "active",
 		jobs:      make(map[string]*job),
+		byKey:     make(map[string]*job),
 	}
 	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+
+	// Durable before acknowledged: a session the client can submit to
+	// must survive a crash, or its recovered jobs would be orphans.
+	if err := s.putSession(sess, true); err != nil {
+		s.mu.Lock()
+		delete(s.sessions, sess.id)
+		s.mu.Unlock()
+		s.count("service.store_errors")
+		return nil, &StoreError{Err: err}
+	}
 	s.count("service.sessions_created")
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return sess.v1(), nil
 }
 
@@ -220,22 +437,25 @@ func (s *Server) Session(id string) (*apiv1.Session, error) {
 // further submissions are rejected.
 func (s *Server) CloseSession(id string) (*apiv1.Session, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	sess, ok := s.sessions[id]
 	if !ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: session %s", ErrNotFound, id)
 	}
 	sess.state = "closed"
-	return sess.v1(), nil
+	doc := sess.v1()
+	s.mu.Unlock()
+	// Best-effort: losing a "closed" transition merely reopens intake on
+	// a session after a crash, which is harmless.
+	if err := s.putSession(sess, false); err != nil {
+		s.count("service.store_errors")
+	}
+	return doc, nil
 }
 
-// Submit validates the job spec, resolves its program source, and
-// enqueues it. A full queue fails fast with ErrQueueFull — the
-// submission is not blocked, dropped or silently truncated.
-func (s *Server) Submit(sessionID string, spec apiv1.JobSpec) (*apiv1.Job, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, &BadRequestError{Err: err}
-	}
+// resolveSpec turns a validated job spec into its program, nil for
+// workload jobs. Shared by the submission path and crash recovery.
+func (s *Server) resolveSpec(spec apiv1.JobSpec) (*prog.Program, error) {
 	var p *prog.Program
 	switch {
 	case spec.Litmus != "":
@@ -272,6 +492,25 @@ func (s *Server) Submit(sessionID string, spec apiv1.JobSpec) (*apiv1.Job, error
 			}
 		}
 	}
+	return p, nil
+}
+
+// Submit validates the job spec, resolves its program source, persists
+// the job durably (when a store is configured) and enqueues it. A full
+// queue fails fast with ErrQueueFull — the submission is not blocked,
+// dropped or silently truncated. A non-empty idemKey deduplicates: a
+// repeat submission to the same session returns the original job.
+//
+// The acknowledgment contract: once Submit returns a job document, the
+// job is on stable storage and survives a crash of the process.
+func (s *Server) Submit(sessionID string, spec apiv1.JobSpec, idemKey string) (*apiv1.Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	p, err := s.resolveSpec(spec)
+	if err != nil {
+		return nil, err
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -288,26 +527,69 @@ func (s *Server) Submit(sessionID string, spec apiv1.JobSpec) (*apiv1.Job, error
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: session %s", ErrSessionClosed, sessionID)
 	}
-	s.nextJob++
-	j := &job{
-		id:    fmt.Sprintf("j-%d", s.nextJob),
-		sess:  sess,
-		spec:  spec,
-		prog:  p,
-		state: apiv1.JobQueued,
-		done:  make(chan struct{}),
+	if idemKey != "" {
+		if dup, ok := sess.byKey[idemKey]; ok {
+			doc := dup.v1()
+			s.mu.Unlock()
+			s.count("service.jobs_deduped")
+			return doc, nil
+		}
 	}
-	select {
-	case s.queue <- j:
-	default:
-		s.nextJob-- // not accepted; do not burn the id
+	// Reserve queue capacity before the (lock-free) durable write:
+	// len(queue)+reserved never exceeds cap, so the enqueue below cannot
+	// block and concurrent submissions cannot oversubscribe the queue.
+	// The reservation also joins inFlight so a concurrent Drain cannot
+	// close the queue under a submission that already passed its
+	// draining check.
+	if len(s.queue)+s.reserved >= cap(s.queue) {
 		s.mu.Unlock()
 		s.count("service.jobs_rejected")
 		return nil, ErrQueueFull
 	}
+	s.reserved++
 	s.inFlight.Add(1)
+	s.nextJob++
+	now := time.Now()
+	j := &job{
+		id:       fmt.Sprintf("j-%d", s.nextJob),
+		sess:     sess,
+		spec:     spec,
+		idemKey:  idemKey,
+		prog:     p,
+		state:    apiv1.JobQueued,
+		accepted: now,
+		done:     make(chan struct{}),
+	}
+	if spec.DeadlineSeconds > 0 {
+		j.deadline = now.Add(time.Duration(spec.DeadlineSeconds * float64(time.Second)))
+	}
 	sess.jobs[j.id] = j
+	if idemKey != "" {
+		sess.byKey[idemKey] = j
+	}
 	sess.submitted++
+	s.mu.Unlock()
+
+	// Durable before acknowledged. On failure the job is unwound as if
+	// it never existed: nothing was enqueued, nothing acknowledged.
+	if err := s.putJob(j, true); err != nil {
+		s.mu.Lock()
+		s.reserved--
+		delete(sess.jobs, j.id)
+		if idemKey != "" {
+			delete(sess.byKey, idemKey)
+		}
+		sess.submitted--
+		s.mu.Unlock()
+		s.inFlight.Done()
+		s.count("service.store_errors")
+		s.count("service.jobs_rejected")
+		return nil, &StoreError{Err: err}
+	}
+
+	s.mu.Lock()
+	s.reserved--
+	s.queue <- j // cannot block: the reservation held our slot
 	doc := j.v1()
 	s.mu.Unlock()
 	s.count("service.jobs_submitted")
@@ -341,11 +623,30 @@ func (s *Server) Job(sessionID, jobID string, wait time.Duration) (*apiv1.Job, e
 	return j.v1(), nil
 }
 
-// RetryAfter is the backoff the transport advertises on queue-full
-// rejections.
+// RetryAfter is the configured base backoff hint.
 func (s *Server) RetryAfter() time.Duration { return s.cfg.RetryAfter }
 
-// Health reports queue occupancy and drain state.
+// RetryAfterSeconds is the backoff the transport advertises on
+// queue-full and store-failure rejections: the configured base scaled
+// by queue occupancy, so a saturated server sheds load harder than a
+// briefly-full one. An empty queue advertises the base; a full queue
+// twice the base; always at least 1s.
+func (s *Server) RetryAfterSeconds() int {
+	s.mu.Lock()
+	depth := len(s.queue) + s.reserved
+	s.mu.Unlock()
+	base := s.cfg.RetryAfter.Seconds()
+	secs := int(math.Ceil(base * (1 + float64(depth)/float64(s.cfg.QueueDepth))))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// Chaos returns the service-level fault injector, nil when disabled.
+func (s *Server) Chaos() *faults.ServiceInjector { return s.chaos }
+
+// Health reports queue occupancy, durability and drain state.
 func (s *Server) Health() *apiv1.Health {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -354,13 +655,15 @@ func (s *Server) Health() *apiv1.Health {
 		status = "draining"
 	}
 	return &apiv1.Health{
-		Schema:     apiv1.SchemaVersion,
-		Kind:       apiv1.KindHealth,
-		Status:     status,
-		Sessions:   len(s.sessions),
-		QueueDepth: len(s.queue),
-		QueueCap:   s.cfg.QueueDepth,
-		Workers:    s.cfg.Workers,
+		Schema:        apiv1.SchemaVersion,
+		Kind:          apiv1.KindHealth,
+		Status:        status,
+		Sessions:      len(s.sessions),
+		QueueDepth:    len(s.queue) + s.reserved,
+		QueueCap:      s.cfg.QueueDepth,
+		Workers:       s.cfg.Workers,
+		Durable:       s.store != nil,
+		RecoveredJobs: s.recovered,
 	}
 }
 
@@ -401,30 +704,134 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for j := range s.queue {
-		s.mu.Lock()
-		j.state = apiv1.JobRunning
-		s.mu.Unlock()
+		s.runOne(j)
+	}
+}
 
-		runs := s.runJob(j)
+// runOne executes a dequeued job end to end: chaos stall, panic
+// containment with a single requeue, persistence of the transitions,
+// and completion accounting. It owns the job's inFlight token.
+func (s *Server) runOne(j *job) {
+	// An injected stall window holds the worker idle in short slices
+	// (so Drain stays responsive), building real queue pressure.
+	for {
+		d := s.chaos.StallRemaining()
+		if d <= 0 {
+			break
+		}
+		if d > 25*time.Millisecond {
+			d = 25 * time.Millisecond
+		}
+		time.Sleep(d)
+	}
 
-		s.mu.Lock()
-		j.runs = runs
-		j.state = apiv1.JobDone
-		j.sess.done++
-		s.mu.Unlock()
-		close(j.done)
-		s.count("service.jobs_completed")
-		s.inFlight.Done()
+	s.mu.Lock()
+	j.state = apiv1.JobRunning
+	j.attempts++
+	attempt := j.attempts
+	s.mu.Unlock()
+	s.putJobBestEffort(j, false)
+
+	runs, panicked := s.runContained(j)
+	if panicked {
+		s.count("service.worker_panics")
+		if attempt == 1 {
+			// One requeue: back of the queue when there is room (other
+			// jobs make progress first), in-place retry when there isn't.
+			// Either way the job keeps its inFlight token, so Drain still
+			// waits for it and the queue cannot close underneath us.
+			s.count("service.jobs_requeued")
+			s.mu.Lock()
+			j.state = apiv1.JobQueued
+			if len(s.queue)+s.reserved < cap(s.queue) {
+				s.queue <- j
+				s.mu.Unlock()
+				s.putJobBestEffort(j, false)
+				return
+			}
+			j.state = apiv1.JobRunning
+			j.attempts++
+			s.mu.Unlock()
+			runs, panicked = s.runContained(j)
+		}
+		if panicked {
+			// Second panic: the job fails loudly with a structured error
+			// instead of looping through the queue forever.
+			runs = []apiv1.RunResult{{
+				Outcome: apiv1.OutcomeContainedCrash,
+				Error: fmt.Sprintf("service: worker panic running job %s (attempt %d of 2): %v",
+					j.id, j.attempts, j.panicVal),
+			}}
+		}
+	}
+
+	s.mu.Lock()
+	j.runs = runs
+	j.state = apiv1.JobDone
+	j.sess.done++
+	latency := time.Since(j.accepted).Seconds()
+	s.mu.Unlock()
+	// Results are appended durably: a crash after this fsync serves them
+	// from the store; a crash before it deterministically recomputes
+	// them. Failure is absorbed — the in-memory result stands.
+	s.putJobBestEffort(j, true)
+	close(j.done)
+	s.metricsMu.Lock()
+	s.metrics.Counter("service.jobs_completed").Inc()
+	s.metrics.Histogram("service.job_seconds", jobLatencyBuckets...).Observe(latency)
+	s.metricsMu.Unlock()
+	s.inFlight.Done()
+}
+
+// jobLatencyBuckets spans 1ms to ~2min exponentially — the /metrics
+// p50/p95/p99 source for accepted-to-done job latency.
+var jobLatencyBuckets = []float64{
+	0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10, 30, 60, 120,
+}
+
+// runContained runs every run of the job, converting a worker panic
+// (a detector bug, an injected chaos panic) into a contained failure
+// instead of taking the process — and with it every in-flight job —
+// down.
+func (s *Server) runContained(j *job) (runs []apiv1.RunResult, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicVal = r
+			runs, panicked = nil, true
+		}
+	}()
+	if s.chaos.PanicJob() {
+		panic("chaos: injected worker panic")
+	}
+	return s.runJob(j), false
+}
+
+// deadlineResult is the structured error a run that never started gets
+// when the job's wall-clock deadline passed first.
+func deadlineResult(j *job, seed int64) apiv1.RunResult {
+	return apiv1.RunResult{
+		Seed:    seed,
+		Outcome: apiv1.OutcomeDeadline,
+		Error: fmt.Sprintf("service: job %s deadline (%gs from acceptance) exceeded before the run started",
+			j.id, j.spec.DeadlineSeconds),
 	}
 }
 
 // runJob executes every run of a job and returns the results in seed
 // order. Run-level failures (an unknown workload scale, a config the
 // per-job seed invalidates) land in the result's Outcome/Error — the job
-// itself always completes.
+// itself always completes. The deadline contract: every run is bounded
+// deterministically by MaxSteps, and runs that have not started when
+// the wall-clock deadline passes (queue wait counts) are cut off with
+// OutcomeDeadline instead of pinning a worker.
 func (s *Server) runJob(j *job) []apiv1.RunResult {
+	maxSteps := s.effMaxSteps(j.sess.cfg, j.spec.MaxSteps)
 	if len(j.spec.Schedule) > 0 {
-		return []apiv1.RunResult{s.runScheduled(j.sess, j.prog, j.spec.Schedule)}
+		if j.expired() {
+			s.count("service.jobs_deadline_exceeded")
+			return []apiv1.RunResult{deadlineResult(j, 0)}
+		}
+		return []apiv1.RunResult{s.runScheduled(j.sess, j.prog, j.spec.Schedule, maxSteps)}
 	}
 	seeds := j.spec.Seeds
 	if len(seeds) == 0 {
@@ -436,26 +843,43 @@ func (s *Server) runJob(j *job) []apiv1.RunResult {
 	}
 	// The PR-4 experiment-engine pool fans the independent per-seed runs
 	// out; each run builds its own machine, so they share nothing.
+	expired := false
 	results := harness.ForEachIndexed(par, len(seeds), func(i int) apiv1.RunResult {
-		if j.prog != nil {
-			return s.runProgram(j.sess, j.prog, seeds[i])
+		if j.expired() {
+			expired = true
+			return deadlineResult(j, seeds[i])
 		}
-		return s.runWorkload(j.sess, j.spec.Workload, seeds[i])
+		if j.prog != nil {
+			return s.runProgram(j.sess, j.prog, seeds[i], maxSteps)
+		}
+		return s.runWorkload(j.sess, j.spec.Workload, seeds[i], maxSteps)
 	})
+	if expired {
+		s.count("service.jobs_deadline_exceeded")
+	}
 	s.metricsMu.Lock()
 	s.metrics.Counter("service.runs_total").Add(uint64(len(results)))
 	s.metricsMu.Unlock()
 	return results
 }
 
+// effMaxSteps resolves the per-run scheduler budget: job override, then
+// session, then the server default.
+func (s *Server) effMaxSteps(sc apiv1.SessionConfig, jobMax uint64) uint64 {
+	if jobMax > 0 {
+		return jobMax
+	}
+	if sc.MaxSteps > 0 {
+		return sc.MaxSteps
+	}
+	return s.cfg.DefaultMaxSteps
+}
+
 // runOptions translates a session config onto the facade's functional
 // options — the same constructors local callers use, so a remote run is
-// the same run.
-func (s *Server) runOptions(sc apiv1.SessionConfig, det clean.Detection, seed int64, reg *clean.Metrics) []clean.Option {
-	maxSteps := sc.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = s.cfg.DefaultMaxSteps
-	}
+// the same run. maxSteps arrives pre-resolved (effMaxSteps) so per-job
+// overrides flow through unchanged.
+func (s *Server) runOptions(sc apiv1.SessionConfig, det clean.Detection, seed int64, reg *clean.Metrics, maxSteps uint64) []clean.Option {
 	opts := []clean.Option{
 		clean.WithDetection(det),
 		clean.WithSeed(seed),
@@ -492,9 +916,9 @@ func errorResult(seed int64, err error) apiv1.RunResult {
 }
 
 // runProgram runs a program job once under the given seed.
-func (s *Server) runProgram(sess *session, p *prog.Program, seed int64) apiv1.RunResult {
+func (s *Server) runProgram(sess *session, p *prog.Program, seed int64, maxSteps uint64) apiv1.RunResult {
 	reg := sessionRegistry(sess.cfg)
-	cfg, err := clean.NewConfig(s.runOptions(sess.cfg, sess.detection, seed, reg)...)
+	cfg, err := clean.NewConfig(s.runOptions(sess.cfg, sess.detection, seed, reg, maxSteps)...)
 	if err != nil {
 		return errorResult(seed, err)
 	}
@@ -516,14 +940,10 @@ func (s *Server) runProgram(sess *session, p *prog.Program, seed int64) apiv1.Ru
 // schedule — the static analyzer's witness-replay entry point. The
 // schedule fully determines the interleaving, so the result carries no
 // seed and no registry (the scheduler never consults either).
-func (s *Server) runScheduled(sess *session, p *prog.Program, schedule []int) apiv1.RunResult {
-	cfg, err := clean.NewConfig(s.runOptions(sess.cfg, sess.detection, sess.cfg.Seed, nil)...)
+func (s *Server) runScheduled(sess *session, p *prog.Program, schedule []int, maxSteps uint64) apiv1.RunResult {
+	cfg, err := clean.NewConfig(s.runOptions(sess.cfg, sess.detection, sess.cfg.Seed, nil, maxSteps)...)
 	if err != nil {
 		return errorResult(0, err)
-	}
-	maxSteps := sess.cfg.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = s.cfg.DefaultMaxSteps
 	}
 	m := machine.New(machine.Config{
 		Detector: cfg.NewDetector(),
@@ -581,9 +1001,9 @@ func finishProgramResult(res *apiv1.RunResult, m *clean.Machine, base uint64, re
 }
 
 // runWorkload runs a benchmark stand-in job once under the given seed.
-func (s *Server) runWorkload(sess *session, w *apiv1.WorkloadSpec, seed int64) apiv1.RunResult {
+func (s *Server) runWorkload(sess *session, w *apiv1.WorkloadSpec, seed int64, maxSteps uint64) apiv1.RunResult {
 	reg := sessionRegistry(sess.cfg)
-	cfg, err := clean.NewConfig(s.runOptions(sess.cfg, sess.detection, seed, reg)...)
+	cfg, err := clean.NewConfig(s.runOptions(sess.cfg, sess.detection, seed, reg, maxSteps)...)
 	if err != nil {
 		return errorResult(seed, err)
 	}
@@ -648,12 +1068,14 @@ func (sess *session) v1() *apiv1.Session {
 // after which runs/state no longer change).
 func (j *job) v1() *apiv1.Job {
 	doc := &apiv1.Job{
-		Schema:  apiv1.SchemaVersion,
-		Kind:    apiv1.KindJob,
-		ID:      j.id,
-		Session: j.sess.id,
-		State:   j.state,
-		Spec:    j.spec,
+		Schema:         apiv1.SchemaVersion,
+		Kind:           apiv1.KindJob,
+		ID:             j.id,
+		Session:        j.sess.id,
+		State:          j.state,
+		Spec:           j.spec,
+		IdempotencyKey: j.idemKey,
+		Attempts:       j.attempts,
 	}
 	doc.Runs = append(doc.Runs, j.runs...)
 	return doc

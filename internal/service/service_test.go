@@ -207,13 +207,15 @@ func TestScheduledReplay(t *testing.T) {
 }
 
 // TestBackpressure fills the queue of a server whose workers never start
-// and checks the 429 + Retry-After contract at the HTTP layer.
+// and checks the 429 + Retry-After contract at the HTTP layer. The
+// no-retry client surfaces the raw 429; Retry-After is the 2s base
+// doubled by the full queue (occupancy scaling).
 func TestBackpressure(t *testing.T) {
 	ctx := context.Background()
 	srv := newServer(Config{Workers: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
 	ts := httptest.NewServer(Handler(srv))
 	defer ts.Close()
-	c := NewClient(ts.URL)
+	c := NewClient(ts.URL, WithoutRetries())
 
 	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionNone, Seed: 0})
 	if err != nil {
@@ -234,8 +236,8 @@ func TestBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429", resp.StatusCode)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra != "2" {
-		t.Errorf("Retry-After header %q, want %q", ra, "2")
+	if ra := resp.Header.Get("Retry-After"); ra != "4" {
+		t.Errorf("Retry-After header %q, want %q", ra, "4")
 	}
 
 	// The client surfaces the same rejection as a typed *v1.Error.
@@ -244,8 +246,8 @@ func TestBackpressure(t *testing.T) {
 	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
 		t.Fatalf("client error %v, want *v1.Error with status 429", err)
 	}
-	if apiErr.RetryAfterSeconds != 2 {
-		t.Errorf("RetryAfterSeconds %d, want 2", apiErr.RetryAfterSeconds)
+	if apiErr.RetryAfterSeconds != 4 {
+		t.Errorf("RetryAfterSeconds %d, want 4", apiErr.RetryAfterSeconds)
 	}
 }
 

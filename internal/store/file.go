@@ -1,0 +1,368 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// On-disk layout of a FileStore directory:
+//
+//	<dir>/snapshot.json   materialized State at some journal cut (atomic
+//	                      tmp+rename writes; absent until first Compact)
+//	<dir>/journal.log     framed records appended since that cut
+//
+// Journal frame: [uint32 LE payload length][uint32 LE CRC-32 (IEEE) of
+// the payload][payload JSON]. Replay stops at the first torn or
+// corrupt frame and truncates the file there, so a crash mid-append
+// costs at most the unacknowledged tail.
+const (
+	snapshotName = "snapshot.json"
+	journalName  = "journal.log"
+
+	// maxFrame bounds a single record; anything larger is corruption,
+	// not data.
+	maxFrame = 64 << 20
+
+	// DefaultCompactBytes is the journal size past which an append
+	// triggers an automatic Compact.
+	DefaultCompactBytes = 8 << 20
+)
+
+// snapshotFile wraps the State with the repository's schema/kind stamp
+// conventions so a snapshot is self-describing on disk.
+type snapshotFile struct {
+	Schema int    `json:"schema"`
+	Kind   string `json:"kind"`
+	State  *State `json:"state"`
+}
+
+// KindSnapshot stamps snapshot.json.
+const KindSnapshot = "clean.store.snapshot"
+
+// FileStore is the embedded durable JobStore: a snapshot plus an
+// append-only journal in one directory. Safe for concurrent use;
+// durable appends share fsyncs (group commit).
+type FileStore struct {
+	dir string
+
+	mu      sync.Mutex
+	f       *os.File
+	state   *State // materialized, kept current on every append
+	boot    *State // copy handed to State() callers
+	written int64  // bytes appended (journal offset after the last frame)
+	synced  int64  // bytes known fsynced
+	syncing bool
+	syncErr error // sticky: a failed fsync poisons the store
+	wake    *sync.Cond
+
+	// CompactBytes is the auto-compaction threshold (0 disables;
+	// Open sets DefaultCompactBytes).
+	CompactBytes int64
+}
+
+// Open opens (creating if needed) the store directory, replays the
+// snapshot and journal, truncates any torn tail, and returns the store
+// ready for appends.
+func Open(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	st := newState()
+	if data, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
+		var snap snapshotFile
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("store: decoding %s: %w", snapshotName, err)
+		}
+		if snap.Kind != KindSnapshot {
+			return nil, fmt.Errorf("store: %s kind %q, want %q", snapshotName, snap.Kind, KindSnapshot)
+		}
+		if snap.State != nil {
+			st = snap.State
+			st.reindex()
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	valid, err := replayJournal(f, st)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Drop any torn tail so new frames append after the valid prefix.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: truncating journal tail: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+
+	s := &FileStore{
+		dir:          dir,
+		f:            f,
+		state:        st,
+		written:      valid,
+		synced:       valid,
+		CompactBytes: DefaultCompactBytes,
+	}
+	s.wake = sync.NewCond(&s.mu)
+	s.boot = s.copyStateLocked()
+	return s, nil
+}
+
+// replayJournal applies every intact frame in f onto st and returns the
+// offset just past the last one. A torn or corrupt frame ends the
+// replay (the tail is the crash residue); a record that fails to decode
+// or apply past its CRC is a hard error — that is corruption in the
+// middle of acknowledged data.
+func replayJournal(f *os.File, st *State) (int64, error) {
+	var (
+		valid int64
+		hdr   [8]byte
+	)
+	r := io.Reader(f)
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return valid, nil // EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxFrame {
+			return valid, nil // garbage length: treat as torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return valid, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return valid, nil // corrupt tail
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return 0, fmt.Errorf("store: journal record at offset %d: %w", valid, err)
+		}
+		if err := st.apply(rec); err != nil {
+			return 0, fmt.Errorf("store: journal record at offset %d: %w", valid, err)
+		}
+		valid += int64(8 + n)
+	}
+}
+
+// State implements JobStore: the state as of Open.
+func (s *FileStore) State() *State { return s.boot }
+
+// copyStateLocked deep-enough-copies the materialized state: record
+// slices are copied, the records themselves are value types.
+func (s *FileStore) copyStateLocked() *State {
+	cp := newState()
+	cp.Sessions = append([]SessionRecord(nil), s.state.Sessions...)
+	cp.Jobs = append([]JobRecord(nil), s.state.Jobs...)
+	cp.NextSession = s.state.NextSession
+	cp.NextJob = s.state.NextJob
+	cp.reindex()
+	return cp
+}
+
+// PutSession implements JobStore.
+func (s *FileStore) PutSession(rec SessionRecord, durable bool) error {
+	return s.append(Record{Session: &rec}, durable)
+}
+
+// PutJob implements JobStore.
+func (s *FileStore) PutJob(rec JobRecord, durable bool) error {
+	return s.append(Record{Job: &rec}, durable)
+}
+
+// append frames and writes one record. With durable set it returns only
+// once the record is fsynced; concurrent durable appends share a single
+// fsync (group commit).
+func (s *FileStore) append(rec Record, durable bool) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("store: closed")
+	}
+	if s.syncErr != nil {
+		return s.syncErr
+	}
+	if _, err := s.f.Write(frame); err != nil {
+		s.syncErr = fmt.Errorf("store: append: %w", err)
+		return s.syncErr
+	}
+	if err := s.state.apply(rec); err != nil {
+		return err
+	}
+	s.written += int64(len(frame))
+	pos := s.written
+
+	if durable {
+		if err := s.syncToLocked(pos); err != nil {
+			return err
+		}
+	}
+	if s.CompactBytes > 0 && s.written > s.CompactBytes {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// syncToLocked blocks until at least pos bytes are fsynced, joining an
+// in-flight fsync when one is already running. Caller holds s.mu.
+func (s *FileStore) syncToLocked(pos int64) error {
+	for s.synced < pos {
+		if s.syncErr != nil {
+			return s.syncErr
+		}
+		if s.syncing {
+			s.wake.Wait()
+			continue
+		}
+		s.syncing = true
+		target := s.written
+		f := s.f
+		s.mu.Unlock()
+		err := f.Sync()
+		s.mu.Lock()
+		s.syncing = false
+		if err != nil {
+			s.syncErr = fmt.Errorf("store: fsync: %w", err)
+		} else if target > s.synced {
+			s.synced = target
+		}
+		s.wake.Broadcast()
+	}
+	return s.syncErr
+}
+
+// Compact implements JobStore: write the materialized state as a
+// snapshot (tmp + rename, fsynced) and truncate the journal.
+func (s *FileStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("store: closed")
+	}
+	return s.compactLocked()
+}
+
+func (s *FileStore) compactLocked() error {
+	// Make sure everything the snapshot will contain is also on disk in
+	// the journal first: if the snapshot write fails halfway we still
+	// have the complete journal.
+	if err := s.syncToLocked(s.written); err != nil {
+		return err
+	}
+	snap := snapshotFile{Schema: 1, Kind: KindSnapshot, State: s.state}
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := filepath.Join(s.dir, snapshotName+".tmp")
+	if err := writeFileSync(tmp, append(data, '\n')); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	// The snapshot now covers every journal record; drop them. A crash
+	// before the truncate leaves snapshot+journal overlapping, which
+	// replay tolerates (records are idempotent upserts).
+	if err := s.f.Truncate(0); err != nil {
+		s.syncErr = fmt.Errorf("store: truncate: %w", err)
+		return s.syncErr
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		s.syncErr = fmt.Errorf("store: %w", err)
+		return s.syncErr
+	}
+	if err := s.f.Sync(); err != nil {
+		s.syncErr = fmt.Errorf("store: fsync: %w", err)
+		return s.syncErr
+	}
+	s.written, s.synced = 0, 0
+	return nil
+}
+
+// Close implements JobStore: fsync outstanding appends and close the
+// journal.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.syncToLocked(s.written)
+	if cerr := s.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("store: close: %w", cerr)
+	}
+	s.f = nil
+	return err
+}
+
+// JournalBytes reports the current journal size, for tests and /healthz.
+func (s *FileStore) JournalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.written
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: fsync dir: %w", err)
+	}
+	return nil
+}

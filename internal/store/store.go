@@ -1,0 +1,192 @@
+// Package store persists the detection service's control plane: session
+// configurations, job specs, state transitions and results. The embedded
+// FileStore keeps an append-only journal of length+CRC framed JSON
+// records with group-committed fsync, plus a snapshot file that bounds
+// replay time — Compact writes the materialized state atomically and
+// truncates the journal.
+//
+// The design leans on the detector's determinism (Kendo scheduling +
+// HashMem fingerprints): a job replayed after a crash reproduces its
+// witness and determinism hash byte-identically, so the store only has
+// to guarantee that *acknowledged* jobs survive — their results can
+// always be recomputed. Concretely:
+//
+//   - a job submission is appended durably (fsynced) before the service
+//     acknowledges it, so a crash after the 202 never loses the job;
+//   - running→done transitions and results are appended without
+//     waiting for fsync (they reach the OS immediately and the next
+//     group commit makes them durable); losing one merely re-runs a
+//     deterministic job on recovery;
+//   - every record is an upsert keyed by id, so replay is idempotent
+//     and the snapshot/journal overlap after a mid-compaction crash is
+//     harmless.
+package store
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	apiv1 "repro/api/v1"
+)
+
+// SessionRecord is the durable state of one session.
+type SessionRecord struct {
+	ID     string              `json:"id"`
+	State  string              `json:"state"` // "active" or "closed"
+	Config apiv1.SessionConfig `json:"config"`
+}
+
+// JobRecord is the durable state of one job. Runs are only present once
+// State is done.
+type JobRecord struct {
+	ID             string            `json:"id"`
+	Session        string            `json:"session"`
+	IdempotencyKey string            `json:"idempotency_key,omitempty"`
+	Spec           apiv1.JobSpec     `json:"spec"`
+	State          string            `json:"state"` // apiv1.JobQueued/JobRunning/JobDone
+	Attempts       int               `json:"attempts,omitempty"`
+	Runs           []apiv1.RunResult `json:"runs,omitempty"`
+}
+
+// Record is one journal entry: an upsert of a session or a job. Exactly
+// one field is set.
+type Record struct {
+	Session *SessionRecord `json:"session,omitempty"`
+	Job     *JobRecord     `json:"job,omitempty"`
+}
+
+// State is the materialized store content: every session and job, in
+// first-seen order, plus the id counters the service resumes from.
+type State struct {
+	Sessions []SessionRecord `json:"sessions"`
+	Jobs     []JobRecord     `json:"jobs"`
+	// NextSession/NextJob are the highest numeric id suffixes seen, so
+	// a recovered service never reissues an id.
+	NextSession int `json:"next_session"`
+	NextJob     int `json:"next_job"`
+
+	sessIdx map[string]int
+	jobIdx  map[string]int
+}
+
+func newState() *State {
+	return &State{sessIdx: make(map[string]int), jobIdx: make(map[string]int)}
+}
+
+// reindex rebuilds the lookup maps (after decoding a snapshot).
+func (st *State) reindex() {
+	st.sessIdx = make(map[string]int, len(st.Sessions))
+	for i, s := range st.Sessions {
+		st.sessIdx[s.ID] = i
+	}
+	st.jobIdx = make(map[string]int, len(st.Jobs))
+	for i, j := range st.Jobs {
+		st.jobIdx[j.ID] = i
+	}
+}
+
+// apply upserts one record into the state.
+func (st *State) apply(rec Record) error {
+	switch {
+	case rec.Session != nil:
+		s := *rec.Session
+		if i, ok := st.sessIdx[s.ID]; ok {
+			st.Sessions[i] = s
+		} else {
+			st.sessIdx[s.ID] = len(st.Sessions)
+			st.Sessions = append(st.Sessions, s)
+		}
+		bumpCounter(&st.NextSession, s.ID, "s-")
+	case rec.Job != nil:
+		j := *rec.Job
+		if i, ok := st.jobIdx[j.ID]; ok {
+			st.Jobs[i] = j
+		} else {
+			st.jobIdx[j.ID] = len(st.Jobs)
+			st.Jobs = append(st.Jobs, j)
+		}
+		bumpCounter(&st.NextJob, j.ID, "j-")
+	default:
+		return fmt.Errorf("store: record sets neither session nor job")
+	}
+	return nil
+}
+
+// bumpCounter raises *n to the numeric suffix of id ("s-17" → 17) when
+// the id follows the service's naming scheme.
+func bumpCounter(n *int, id, prefix string) {
+	if v, err := strconv.Atoi(strings.TrimPrefix(id, prefix)); err == nil && v > *n {
+		*n = v
+	}
+}
+
+// JobStore is the pluggable persistence interface of the service. A nil
+// JobStore (memory-only service) is handled by the caller; every
+// implementation here is safe for concurrent use.
+type JobStore interface {
+	// State returns the state recovered when the store was opened. The
+	// caller owns the returned value; the store does not mutate it.
+	State() *State
+	// PutSession appends a session upsert. durable forces the record to
+	// stable storage before returning.
+	PutSession(rec SessionRecord, durable bool) error
+	// PutJob appends a job upsert. durable forces the record to stable
+	// storage before returning — the acknowledged-submission path.
+	PutJob(rec JobRecord, durable bool) error
+	// Compact folds the journal into a snapshot, bounding recovery time.
+	Compact() error
+	// Close flushes and releases the store.
+	Close() error
+}
+
+// MemStore is the in-memory JobStore tests (and storeless servers that
+// still want the interface) use: upserts are applied to a state that is
+// never persisted.
+type MemStore struct {
+	mu    sync.Mutex
+	boot  *State
+	state *State
+}
+
+// NewMemStore returns an empty MemStore.
+func NewMemStore() *MemStore {
+	return &MemStore{boot: newState(), state: newState()}
+}
+
+// State implements JobStore; it returns the (empty) boot state.
+func (m *MemStore) State() *State { return m.boot }
+
+// PutSession implements JobStore.
+func (m *MemStore) PutSession(rec SessionRecord, durable bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state.apply(Record{Session: &rec})
+}
+
+// PutJob implements JobStore.
+func (m *MemStore) PutJob(rec JobRecord, durable bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state.apply(Record{Job: &rec})
+}
+
+// Compact implements JobStore (a no-op: there is no journal).
+func (m *MemStore) Compact() error { return nil }
+
+// Close implements JobStore.
+func (m *MemStore) Close() error { return nil }
+
+// Snapshot returns a copy of the current in-memory state, for tests.
+func (m *MemStore) Snapshot() *State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := newState()
+	cp.Sessions = append([]SessionRecord(nil), m.state.Sessions...)
+	cp.Jobs = append([]JobRecord(nil), m.state.Jobs...)
+	cp.NextSession = m.state.NextSession
+	cp.NextJob = m.state.NextJob
+	cp.reindex()
+	return cp
+}
