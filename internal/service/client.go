@@ -247,29 +247,38 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 		if !errors.As(err, &e) || (e.Status != http.StatusTooManyRequests && e.Status != http.StatusServiceUnavailable) {
 			return err
 		}
-		delay := c.backoffBase << (attempt - 1)
-		if delay > c.backoffCap {
-			delay = c.backoffCap
-		}
-		if e.RetryAfterSeconds > 0 {
-			// The server's hint reflects real queue occupancy; trust it over
-			// the local schedule but keep the cap so a pathological hint
-			// cannot park the client.
-			if ra := time.Duration(e.RetryAfterSeconds) * time.Second; ra > delay {
-				delay = ra
-			}
-			if delay > c.backoffCap {
-				delay = c.backoffCap
-			}
-		}
 		// Full jitter decorrelates a thundering herd of retriers.
-		delay = time.Duration(mathrand.Int63n(int64(delay) + 1))
+		delay := time.Duration(mathrand.Int63n(int64(c.retryDelay(attempt, e.RetryAfterSeconds)) + 1))
 		select {
 		case <-time.After(delay):
 		case <-ctx.Done():
 			return fmt.Errorf("cleand: retrying %s %s: %w (last: %v)", method, path, ctx.Err(), err)
 		}
 	}
+}
+
+// retryDelay is the pre-jitter backoff for the given attempt (1-based):
+// exponential from the base, clamped to the cap, raised to the server's
+// Retry-After hint when that is larger. The hint reflects real queue
+// occupancy so it wins over the local schedule, but the cap still
+// applies so a pathological hint cannot park the client. The result is
+// always in (0, backoffCap]: the delay <= 0 branch catches the shift
+// overflowing int64 at high attempt counts, which would otherwise skip
+// the cap and feed Int63n a non-positive bound.
+func (c *Client) retryDelay(attempt, retryAfterSeconds int) time.Duration {
+	delay := c.backoffBase << (attempt - 1)
+	if delay <= 0 || delay > c.backoffCap {
+		delay = c.backoffCap
+	}
+	if retryAfterSeconds > 0 {
+		if ra := time.Duration(retryAfterSeconds) * time.Second; ra > delay {
+			delay = ra
+		}
+		if delay > c.backoffCap {
+			delay = c.backoffCap
+		}
+	}
+	return delay
 }
 
 // once performs one round trip: encode the request document, decode the

@@ -68,6 +68,147 @@ func TestIdempotentSubmit(t *testing.T) {
 	}
 }
 
+// gateStore blocks each PutJob until the test releases it (with the
+// error the write should return), modeling the open fsync window of a
+// durable submission.
+type gateStore struct {
+	*store.MemStore
+	enter   chan string // receives the job id as the write starts
+	release chan error  // the write returns this error (nil applies it)
+}
+
+func (g *gateStore) PutJob(rec store.JobRecord, durable bool) error {
+	g.enter <- rec.ID
+	if err := <-g.release; err != nil {
+		return err
+	}
+	return g.MemStore.PutJob(rec, durable)
+}
+
+// TestDuplicateSubmitWaitsForDurableAck: a duplicate submission that
+// races the original's durable write must not be answered from the
+// idempotency index until that write resolves — otherwise it holds an
+// ack for a job that is unwound when the write fails and then 404s.
+func TestDuplicateSubmitWaitsForDurableAck(t *testing.T) {
+	g := &gateStore{MemStore: store.NewMemStore(), enter: make(chan string), release: make(chan error)}
+	srv := newServer(Config{Workers: 1, QueueDepth: 8, Store: g})
+	sess, err := srv.CreateSession(apiv1.SessionConfig{Detection: apiv1.DetectionNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := apiv1.JobSpec{Litmus: "waw"}
+	type res struct {
+		job *apiv1.Job
+		err error
+	}
+	orig := make(chan res, 1)
+	go func() {
+		j, err := srv.Submit(sess.ID, spec, "k-race")
+		orig <- res{j, err}
+	}()
+	<-g.enter // the original's durable write is now in flight
+
+	dup := make(chan res, 1)
+	go func() {
+		j, err := srv.Submit(sess.ID, spec, "k-race")
+		dup <- res{j, err}
+	}()
+	select {
+	case r := <-dup:
+		t.Fatalf("duplicate answered while the original's write was pending: %+v, %v", r.job, r.err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// The original's write fails; it is unwound, never acknowledged.
+	g.release <- errors.New("injected store failure")
+	r := <-orig
+	var se *StoreError
+	if !errors.As(r.err, &se) {
+		t.Fatalf("original submit: %v, want StoreError", r.err)
+	}
+
+	// The parked duplicate takes over as a fresh submission: its own
+	// durable write, its own acknowledgment.
+	if id := <-g.enter; id == "" {
+		t.Fatal("duplicate never reached the store")
+	}
+	g.release <- nil
+	d := <-dup
+	if d.err != nil {
+		t.Fatalf("duplicate submit after takeover: %v", d.err)
+	}
+	snap := g.Snapshot()
+	if len(snap.Jobs) != 1 || snap.Jobs[0].ID != d.job.ID {
+		t.Fatalf("store holds %+v, want exactly the duplicate's job %s", snap.Jobs, d.job.ID)
+	}
+	if _, err := srv.Job(sess.ID, d.job.ID, 0); err != nil {
+		t.Fatalf("acknowledged job not readable: %v", err)
+	}
+	if doc, err := srv.Session(sess.ID); err != nil || doc.JobsSubmitted != 1 {
+		t.Fatalf("session %+v, %v (want 1 submitted job)", doc, err)
+	}
+}
+
+// TestEnlargedQueueReportsRealCap: when boot recovery re-enqueues more
+// jobs than the configured depth, the channel grows to fit them;
+// Retry-After and /healthz must report occupancy against the real
+// capacity, not the configured one.
+func TestEnlargedQueueReportsRealCap(t *testing.T) {
+	dir := t.TempDir()
+	cfg := apiv1.SessionConfig{Detection: apiv1.DetectionCLEAN, Seed: 1}
+	stA, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := newServer(Config{Workers: 1, QueueDepth: 8, Store: stA})
+	sess, err := srvA.CreateSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := srvA.Submit(sess.ID, apiv1.JobSpec{Litmus: "waw"}, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := stA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	stB, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stB.Close()
+	srvB := newServer(Config{Workers: 1, QueueDepth: 2, Store: stB})
+	h := srvB.Health()
+	if h.QueueCap != 5 || h.QueueDepth != 5 {
+		t.Errorf("health cap=%d depth=%d, want 5 and 5 (recovered backlog)", h.QueueCap, h.QueueDepth)
+	}
+	// Full occupancy against the real cap: base 1s × (1 + 5/5) = 2s. The
+	// configured depth of 2 would claim 250% occupancy and advertise 4s.
+	if ra := srvB.RetryAfterSeconds(); ra != 2 {
+		t.Errorf("RetryAfterSeconds = %d, want 2", ra)
+	}
+}
+
+// TestRetryDelayClamped: high attempt counts overflow the backoff shift;
+// the delay must clamp to the cap and stay positive (the jitter draw
+// panics on a non-positive bound), with and without a server hint.
+func TestRetryDelayClamped(t *testing.T) {
+	c := NewClient("http://unused", WithRetryPolicy(1<<30, 200*time.Millisecond, 5*time.Second))
+	for _, attempt := range []int{1, 2, 40, 63, 64, 65, 1 << 20} {
+		if d := c.retryDelay(attempt, 0); d <= 0 || d > 5*time.Second {
+			t.Errorf("retryDelay(%d, 0) = %v, want in (0, 5s]", attempt, d)
+		}
+	}
+	if d := c.retryDelay(1, 2); d != 2*time.Second {
+		t.Errorf("retryDelay(1, 2) = %v, want the 2s hint", d)
+	}
+	if d := c.retryDelay(70, 3600); d != 5*time.Second {
+		t.Errorf("retryDelay(70, 3600) = %v, want the 5s cap", d)
+	}
+}
+
 // TestPanicContainedWithRequeue: one injected worker panic fails the
 // attempt, the job is requeued once and completes with the same result
 // a clean run produces; two injected panics fail the job with a

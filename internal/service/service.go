@@ -153,7 +153,22 @@ type job struct {
 	panicVal interface{}
 	runs     []apiv1.RunResult
 	done     chan struct{} // closed when state reaches JobDone
+
+	// The durable-acknowledgment handshake: ack closes once the
+	// submission's store write has resolved, acked says whether it
+	// succeeded. A duplicate submission that races the original's fsync
+	// waits on ack instead of vouching for a job that may yet be unwound.
+	acked bool
+	ack   chan struct{}
 }
+
+// closedAck is the pre-resolved ack channel for jobs that never had a
+// pending store write (recovered from the journal).
+var closedAck = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
 
 // expired reports whether the job's wall-clock deadline has passed.
 func (j *job) expired() bool {
@@ -272,6 +287,8 @@ func (s *Server) recover(st *store.State) []*job {
 			accepted: time.Now(),
 			runs:     jr.Runs,
 			done:     make(chan struct{}),
+			acked:    true, // replayed from the journal: durable by definition
+			ack:      closedAck,
 		}
 		if jr.Spec.DeadlineSeconds > 0 {
 			// The original acceptance time is gone with the crash; restart
@@ -513,27 +530,44 @@ func (s *Server) Submit(sessionID string, spec apiv1.JobSpec, idemKey string) (*
 	}
 
 	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
-		s.count("service.jobs_rejected")
-		return nil, ErrDraining
-	}
-	sess, ok := s.sessions[sessionID]
-	if !ok {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: session %s", ErrNotFound, sessionID)
-	}
-	if sess.state != "active" {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: session %s", ErrSessionClosed, sessionID)
-	}
-	if idemKey != "" {
-		if dup, ok := sess.byKey[idemKey]; ok {
-			doc := dup.v1()
+	var sess *session
+	for {
+		if s.draining {
 			s.mu.Unlock()
-			s.count("service.jobs_deduped")
-			return doc, nil
+			s.count("service.jobs_rejected")
+			return nil, ErrDraining
 		}
+		var ok bool
+		sess, ok = s.sessions[sessionID]
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: session %s", ErrNotFound, sessionID)
+		}
+		if sess.state != "active" {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: session %s", ErrSessionClosed, sessionID)
+		}
+		if idemKey != "" {
+			if dup, ok := sess.byKey[idemKey]; ok {
+				// Answer from the original only once its durable write has
+				// resolved: acking a duplicate while the original's fsync is
+				// still in flight would hand out a 202 for a job that may yet
+				// be unwound. Wait out the race, then re-check — on a store
+				// failure the key is gone and this submission takes over.
+				if !dup.acked {
+					ch := dup.ack
+					s.mu.Unlock()
+					<-ch
+					s.mu.Lock()
+					continue
+				}
+				doc := dup.v1()
+				s.mu.Unlock()
+				s.count("service.jobs_deduped")
+				return doc, nil
+			}
+		}
+		break
 	}
 	// Reserve queue capacity before the (lock-free) durable write:
 	// len(queue)+reserved never exceeds cap, so the enqueue below cannot
@@ -559,6 +593,7 @@ func (s *Server) Submit(sessionID string, spec apiv1.JobSpec, idemKey string) (*
 		state:    apiv1.JobQueued,
 		accepted: now,
 		done:     make(chan struct{}),
+		ack:      make(chan struct{}),
 	}
 	if spec.DeadlineSeconds > 0 {
 		j.deadline = now.Add(time.Duration(spec.DeadlineSeconds * float64(time.Second)))
@@ -571,7 +606,8 @@ func (s *Server) Submit(sessionID string, spec apiv1.JobSpec, idemKey string) (*
 	s.mu.Unlock()
 
 	// Durable before acknowledged. On failure the job is unwound as if
-	// it never existed: nothing was enqueued, nothing acknowledged.
+	// it never existed: nothing was enqueued, nothing acknowledged —
+	// duplicates parked on j.ack re-check and find the key released.
 	if err := s.putJob(j, true); err != nil {
 		s.mu.Lock()
 		s.reserved--
@@ -580,6 +616,7 @@ func (s *Server) Submit(sessionID string, spec apiv1.JobSpec, idemKey string) (*
 			delete(sess.byKey, idemKey)
 		}
 		sess.submitted--
+		close(j.ack)
 		s.mu.Unlock()
 		s.inFlight.Done()
 		s.count("service.store_errors")
@@ -589,6 +626,8 @@ func (s *Server) Submit(sessionID string, spec apiv1.JobSpec, idemKey string) (*
 
 	s.mu.Lock()
 	s.reserved--
+	j.acked = true
+	close(j.ack)
 	s.queue <- j // cannot block: the reservation held our slot
 	doc := j.v1()
 	s.mu.Unlock()
@@ -634,9 +673,13 @@ func (s *Server) RetryAfter() time.Duration { return s.cfg.RetryAfter }
 func (s *Server) RetryAfterSeconds() int {
 	s.mu.Lock()
 	depth := len(s.queue) + s.reserved
+	// cap(queue), not cfg.QueueDepth: boot recovery enlarges the channel
+	// when the replayed backlog exceeds the configured depth, and the
+	// occupancy ratio must reflect the real capacity.
+	qcap := cap(s.queue)
 	s.mu.Unlock()
 	base := s.cfg.RetryAfter.Seconds()
-	secs := int(math.Ceil(base * (1 + float64(depth)/float64(s.cfg.QueueDepth))))
+	secs := int(math.Ceil(base * (1 + float64(depth)/float64(qcap))))
 	if secs < 1 {
 		secs = 1
 	}
@@ -660,7 +703,7 @@ func (s *Server) Health() *apiv1.Health {
 		Status:        status,
 		Sessions:      len(s.sessions),
 		QueueDepth:    len(s.queue) + s.reserved,
-		QueueCap:      s.cfg.QueueDepth,
+		QueueCap:      cap(s.queue),
 		Workers:       s.cfg.Workers,
 		Durable:       s.store != nil,
 		RecoveredJobs: s.recovered,

@@ -58,6 +58,7 @@ type FileStore struct {
 	boot    *State // copy handed to State() callers
 	written int64  // bytes appended (journal offset after the last frame)
 	synced  int64  // bytes known fsynced
+	gen     uint64 // compaction generation; bumped when written/synced reset
 	syncing bool
 	syncErr error // sticky: a failed fsync poisons the store
 	wake    *sync.Cond
@@ -234,8 +235,17 @@ func (s *FileStore) append(rec Record, durable bool) error {
 
 // syncToLocked blocks until at least pos bytes are fsynced, joining an
 // in-flight fsync when one is already running. Caller holds s.mu.
+//
+// pos is an offset of the journal as of the caller's append, so it is
+// only comparable to written/synced within one compaction generation: a
+// compaction resets both counters while s.mu is released around fsyncs,
+// and a waiter comparing a pre-compaction pos against the reset counter
+// would spin forever. A generation change therefore satisfies the wait —
+// compactLocked fsyncs the full journal and the snapshot before
+// truncating, so every prior append is already durable.
 func (s *FileStore) syncToLocked(pos int64) error {
-	for s.synced < pos {
+	gen := s.gen
+	for s.synced < pos && s.gen == gen {
 		if s.syncErr != nil {
 			return s.syncErr
 		}
@@ -252,7 +262,7 @@ func (s *FileStore) syncToLocked(pos int64) error {
 		s.syncing = false
 		if err != nil {
 			s.syncErr = fmt.Errorf("store: fsync: %w", err)
-		} else if target > s.synced {
+		} else if s.gen == gen && target > s.synced {
 			s.synced = target
 		}
 		s.wake.Broadcast()
@@ -309,6 +319,10 @@ func (s *FileStore) compactLocked() error {
 		return s.syncErr
 	}
 	s.written, s.synced = 0, 0
+	s.gen++
+	// Waiters parked in syncToLocked hold pre-compaction offsets; wake
+	// them so they observe the generation change and return.
+	s.wake.Broadcast()
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	apiv1 "repro/api/v1"
 )
@@ -214,6 +215,47 @@ func TestConcurrentDurableAppends(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openT(t, dir)
+	defer r.Close()
+	if got := len(r.State().Jobs); got != n {
+		t.Errorf("recovered %d jobs, want %d", got, n)
+	}
+}
+
+// TestCompactDuringConcurrentDurableAppends: auto-compaction resets the
+// group-commit counters while s.mu is released around fsyncs; a durable
+// appender parked with a pre-compaction offset must treat the
+// compaction (which made everything durable) as satisfying its wait
+// instead of fsync-looping forever against the reset counter.
+func TestCompactDuringConcurrentDurableAppends(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.CompactBytes = 256 // every few appends crosses the threshold
+	const n = 128
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.PutJob(jobN(i+1, apiv1.JobQueued), true)
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("durable appends wedged across a compaction (group-commit livelock)")
+	}
 	for i, err := range errs {
 		if err != nil {
 			t.Fatalf("append %d: %v", i, err)
