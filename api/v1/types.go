@@ -274,6 +274,35 @@ type RunResult struct {
 	Report *RunReport `json:"report,omitempty"`
 }
 
+// JobSpan is one phase of a job's lifecycle: the span named "queued"
+// covers the time between the job becoming queued and the next phase
+// starting. Spans are contiguous, so their durations sum exactly to the
+// trace's end-to-end latency.
+type JobSpan struct {
+	// Phase is one of "journaled", "queued", "running", "requeued",
+	// "stored". "journaled" is the durable-append (group-commit fsync)
+	// wait; "requeued" appears only after a contained worker panic.
+	Phase string `json:"phase"`
+	// StartUnixNano is the phase's start, nanoseconds since the Unix
+	// epoch on the server's clock.
+	StartUnixNano int64 `json:"start_unix_nano"`
+	// Seconds is the phase's duration.
+	Seconds float64 `json:"seconds"`
+}
+
+// JobTrace is a job's lifecycle trace: when the server received it,
+// the contiguous phases it moved through, and the total end-to-end
+// latency once done.
+type JobTrace struct {
+	// ReceivedUnixNano is when the server accepted the submission.
+	ReceivedUnixNano int64 `json:"received_unix_nano"`
+	// Spans lists the phases in order. The trace of a job that is not
+	// yet done covers only the phases completed so far.
+	Spans []JobSpan `json:"spans,omitempty"`
+	// TotalSeconds is received→done latency, 0 until the job is done.
+	TotalSeconds float64 `json:"total_seconds,omitempty"`
+}
+
 // Job describes a submitted job and, once done, its results.
 type Job struct {
 	Schema  int    `json:"schema"`
@@ -290,6 +319,10 @@ type Job struct {
 	Attempts int `json:"attempts,omitempty"`
 	// Runs holds one result per run, in seed order, once State is "done".
 	Runs []RunResult `json:"runs,omitempty"`
+	// Trace is the job's lifecycle trace — where the time went between
+	// submission and ack. Absent on servers recovered from a journal
+	// written before tracing, and for jobs replayed from the store.
+	Trace *JobTrace `json:"trace,omitempty"`
 }
 
 // Health is the /healthz document.
@@ -311,13 +344,24 @@ type Health struct {
 	// RecoveredJobs counts the queued/running jobs the server re-enqueued
 	// from its store at the most recent boot.
 	RecoveredJobs int `json:"recovered_jobs,omitempty"`
+	// StartedAt is the server's boot time in RFC 3339 with sub-second
+	// precision; UptimeSeconds is elapsed time since then. Together they
+	// let a scraper tell a fresh boot from a long-running server.
+	StartedAt     string  `json:"started_at,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds,omitempty"`
 }
 
 // Metrics is the /metrics document: the server's own registry snapshot.
+// The same endpoint serves Prometheus text exposition under content
+// negotiation; this JSON form carries the full histogram state
+// (quantiles, bounds) the text format flattens.
 type Metrics struct {
-	Schema  int             `json:"schema"`
-	Kind    string          `json:"kind"`
-	Metrics MetricsSnapshot `json:"metrics"`
+	Schema int    `json:"schema"`
+	Kind   string `json:"kind"`
+	// CollectedAt stamps the snapshot, RFC 3339 with sub-second
+	// precision on the server's clock.
+	CollectedAt string          `json:"collected_at,omitempty"`
+	Metrics     MetricsSnapshot `json:"metrics"`
 }
 
 // ChaosRequest arms the server's service-level fault injector (the

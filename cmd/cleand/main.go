@@ -12,6 +12,7 @@
 //	cleand -workers 4 -queue 64    # bigger pool and queue
 //	cleand -store /var/lib/cleand  # durable: journal + crash recovery
 //	cleand -store d -chaos         # durable with /debug/chaos armed (tests only)
+//	cleand -log-format json        # structured JSON logs on stderr
 //
 // A full queue rejects submissions with 429 and a Retry-After header;
 // SIGTERM (or SIGINT) drains: intake stops, queued and running jobs
@@ -19,13 +20,18 @@
 // exits. With -store, every acknowledged job is journaled before its
 // 202 and a restart on the same directory re-enqueues whatever a crash
 // interrupted — results of re-executed jobs are byte-identical.
+//
+// Logs are structured (log/slog) on stderr, text by default and JSON
+// with -log-format json; every HTTP response carries an X-Request-Id
+// that the access and job lifecycle lines share, so one grep follows a
+// request through service and store.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -39,8 +45,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cleand: ")
 	var (
 		addr         = flag.String("addr", ":7319", "listen address (host:0 picks an ephemeral port)")
 		workers      = flag.Int("workers", 2, "job worker pool size")
@@ -49,12 +53,25 @@ func main() {
 		maxSteps     = flag.Uint64("maxsteps", 0, "default per-run scheduler budget (0 = server default)")
 		retryAfter   = flag.Duration("retryafter", time.Second, "base Retry-After hint on queue-full rejections (scaled by occupancy)")
 		drainTimeout = flag.Duration("draintimeout", 60*time.Second, "how long SIGTERM waits for in-flight jobs")
+		drainSecs    = flag.Float64("drain-deadline-seconds", 0, "drain deadline in seconds; overrides -draintimeout when > 0")
 		storeDir     = flag.String("store", "", "journal directory for durable jobs ('' = memory only)")
 		chaos        = flag.Bool("chaos", false, "mount POST /debug/chaos for fault injection (soak tests only)")
 		readTimeout  = flag.Duration("readtimeout", 30*time.Second, "HTTP read timeout (whole request)")
 		idleTimeout  = flag.Duration("idletimeout", 2*time.Minute, "HTTP keep-alive idle timeout")
+		logFormat    = flag.String("log-format", "text", "log format: text or json")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error (debug includes per-request access logs)")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cleand: %v\n", err)
+		os.Exit(2)
+	}
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err.Error())
+		os.Exit(1)
+	}
 
 	cfg := service.Config{
 		Workers:         *workers,
@@ -62,28 +79,29 @@ func main() {
 		RunParallelism:  *runpar,
 		DefaultMaxSteps: *maxSteps,
 		RetryAfter:      *retryAfter,
+		Logger:          logger,
 	}
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir)
+		st, err := store.Open(*storeDir, store.WithLogger(logger))
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defer st.Close()
 		cfg.Store = st
 	}
 	if *chaos {
 		cfg.Chaos = faults.NewServiceInjector()
-		log.Printf("chaos endpoint armed: POST /debug/chaos accepts fault budgets")
+		logger.Info("chaos endpoint armed: POST /debug/chaos accepts fault budgets")
 	}
 
 	srv := service.New(cfg)
 	if h := srv.Health(); h.Durable {
-		log.Printf("store %s: recovered %d interrupted job(s)", *storeDir, h.RecoveredJobs)
+		logger.Info("store recovery complete", "dir", *storeDir, "recovered_jobs", h.RecoveredJobs)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	httpSrv := &http.Server{
 		Handler:           service.Handler(srv),
@@ -99,6 +117,8 @@ func main() {
 	// The bound address goes to stdout so scripts using -addr :0 can
 	// find the port.
 	fmt.Printf("cleand: listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"workers", *workers, "queue", *queue, "durable", *storeDir != "")
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -108,20 +128,48 @@ func main() {
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal(err)
 	case sig := <-sigc:
-		log.Printf("%v: draining (in-flight jobs finish, new submissions get 503)", sig)
+		logger.Info("draining: in-flight jobs finish, new submissions get 503", "signal", sig.String())
+	}
+
+	deadline := *drainTimeout
+	if *drainSecs > 0 {
+		deadline = time.Duration(*drainSecs * float64(time.Second))
 	}
 
 	// Drain first — polls keep working so clients can collect results of
 	// jobs that were in flight — then stop the HTTP server.
-	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	drainStart := time.Now()
+	doneBefore := srv.JobsCompleted()
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	log.Printf("drained cleanly")
+	logger.Info("drained cleanly",
+		"seconds", time.Since(drainStart).Seconds(),
+		"jobs_finished_during_drain", srv.JobsCompleted()-doneBefore,
+		"deadline_seconds", deadline.Seconds())
+}
+
+// newLogger builds the process logger on stderr in the requested
+// format and level.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("invalid -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("invalid -log-format %q (want text or json)", format)
+	}
 }

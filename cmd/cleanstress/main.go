@@ -49,15 +49,33 @@ func main() {
 		panics   = flag.Int("panics", 3, "worker-panic budget to inject (with -chaos)")
 		storeErr = flag.Int("storeerrs", 2, "store-error budget to inject (with -chaos)")
 		stall    = flag.Duration("stall", 2*time.Second, "worker-stall window to inject (with -chaos)")
+		sample   = flag.Duration("sample", 250*time.Millisecond, "resource-sampling interval")
+		baseline = flag.String("baseline", "", "directory with a baseline BENCH_service.json to gate against ('' = no gate)")
 	)
 	flag.Parse()
 
-	s := newSoak(*addr, *seed)
+	s := newSoak(*addr, *seed, *sample)
 	if err := s.run(*duration, *qps, *conc, *chaos, *panics, *storeErr, *stall); err != nil {
 		log.Fatal(err)
 	}
 	violations := s.report(os.Stdout)
-	if path, err := s.writeBench(*outDir, *duration, *qps); err != nil {
+
+	f := s.benchFile(*duration, *qps)
+	for _, v := range s.res.resourceReport(os.Stdout, f) {
+		fmt.Printf("VIOLATION:  %s\n", v)
+		violations++
+	}
+	if *baseline != "" {
+		bv := gateAgainstBaseline(f, *baseline)
+		for _, v := range bv {
+			fmt.Printf("VIOLATION:  %s\n", v)
+			violations++
+		}
+		if len(bv) == 0 {
+			fmt.Printf("baseline:   within tolerance of %s\n", *baseline)
+		}
+	}
+	if path, err := f.WriteFile(*outDir); err != nil {
 		log.Fatal(err)
 	} else {
 		fmt.Printf("bench:      %s\n", path)
@@ -65,7 +83,7 @@ func main() {
 	if violations > 0 {
 		log.Fatalf("%d contract violation(s)", violations)
 	}
-	fmt.Println("soak passed: zero lost acknowledged jobs, pressure contained, clean drain")
+	fmt.Println("soak passed: zero lost acknowledged jobs, pressure contained, resources bounded, clean drain")
 }
 
 // ackedJob is one acknowledged (202) submission the soak must see
@@ -85,6 +103,8 @@ type soak struct {
 	// ctl uses default retries for control-plane calls (session setup,
 	// health polls) that should ride out injected pressure.
 	ctl *service.Client
+	// res samples goroutines/heap/journal through the soak and drain.
+	res *sampler
 	rng *rand.Rand
 
 	mu          sync.Mutex
@@ -103,8 +123,8 @@ type soak struct {
 	drainClean   bool
 }
 
-func newSoak(addr string, seed int64) *soak {
-	return &soak{
+func newSoak(addr string, seed int64, sampleEvery time.Duration) *soak {
+	s := &soak{
 		addr:     addr,
 		load:     service.NewClient(addr, service.WithoutRetries()),
 		ctl:      service.NewClient(addr),
@@ -112,6 +132,8 @@ func newSoak(addr string, seed int64) *soak {
 		byKind:   make(map[string]int),
 		outcomes: make(map[string]int),
 	}
+	s.res = newSampler(s.ctl, sampleEvery)
+	return s
 }
 
 func (s *soak) run(duration time.Duration, qps float64, conc int, chaos bool, panics, storeErrs int, stall time.Duration) error {
@@ -121,6 +143,10 @@ func (s *soak) run(duration time.Duration, qps float64, conc int, chaos bool, pa
 		return fmt.Errorf("cleand unreachable at %s: %w", s.addr, err)
 	}
 	fmt.Printf("target:     %s (durable=%v, workers=%d, queue=%d)\n", s.addr, h.Durable, h.Workers, h.QueueCap)
+
+	// The resource sampler brackets the whole soak: its first sample is
+	// the pre-load baseline the leak SLOs measure growth from.
+	s.res.start(ctx)
 
 	sess, err := s.ctl.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionCLEAN, Seed: 1})
 	if err != nil {
@@ -229,6 +255,9 @@ func (s *soak) run(duration time.Duration, qps float64, conc int, chaos bool, pa
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
+	// Post-drain: the sampler's final sample is what the goroutine/heap
+	// leak SLOs compare against the pre-load baseline.
+	s.res.halt(ctx)
 	return nil
 }
 
@@ -405,8 +434,9 @@ func (s *soak) report(w *os.File) int {
 	return violations
 }
 
-// writeBench renders the soak as a schema-versioned BENCH_service.json.
-func (s *soak) writeBench(dir string, duration time.Duration, qps float64) (string, error) {
+// benchFile renders the soak as the schema-versioned BENCH_service
+// document; the caller adds the resource curves and writes it out.
+func (s *soak) benchFile(duration time.Duration, qps float64) *telemetry.BenchFile {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f := telemetry.NewBenchFile("service")
@@ -432,5 +462,5 @@ func (s *soak) writeBench(dir string, duration time.Duration, qps float64) (stri
 		drained = 1
 	}
 	f.AddSummary("soak.drain_clean", drained)
-	return f.WriteFile(dir)
+	return f
 }

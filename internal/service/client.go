@@ -8,9 +8,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	mathrand "math/rand"
 	"net/http"
 	"net/url"
+	"sync/atomic"
 	"time"
 
 	apiv1 "repro/api/v1"
@@ -38,6 +40,7 @@ const (
 type Client struct {
 	base        string
 	http        *http.Client
+	log         *slog.Logger
 	maxAttempts int
 	backoffBase time.Duration
 	backoffCap  time.Duration
@@ -50,6 +53,17 @@ type ClientOption func(*Client)
 // WithHTTPClient substitutes the underlying *http.Client.
 func WithHTTPClient(h *http.Client) ClientOption {
 	return func(c *Client) { c.http = h }
+}
+
+// WithLogger attaches a structured logger: each retry is logged at
+// debug level with the request id, so client and server log lines
+// correlate. Nil (the default) discards.
+func WithLogger(l *slog.Logger) ClientOption {
+	return func(c *Client) {
+		if l != nil {
+			c.log = l
+		}
+	}
 }
 
 // WithRetryPolicy sets the retry envelope: total attempts (including
@@ -87,6 +101,7 @@ func NewClient(base string, opts ...ClientOption) *Client {
 	c := &Client{
 		base:        base,
 		http:        &http.Client{},
+		log:         slog.New(slog.NewTextHandler(io.Discard, nil)),
 		maxAttempts: defaultMaxAttempts,
 		backoffBase: defaultBackoffBase,
 		backoffCap:  defaultBackoffCap,
@@ -97,6 +112,9 @@ func NewClient(base string, opts ...ClientOption) *Client {
 	}
 	return c
 }
+
+// BaseURL returns the server base URL this client talks to.
+func (c *Client) BaseURL() string { return c.base }
 
 // NewIdempotencyKey returns a fresh random submission key.
 func NewIdempotencyKey() string {
@@ -222,13 +240,52 @@ func (c *Client) ArmChaos(ctx context.Context, plan apiv1.ChaosRequest) (*apiv1.
 	return &ack, checkKind(ack.Schema, ack.Kind, apiv1.KindChaos)
 }
 
-// Metrics fetches /metrics.
+// Metrics fetches /metrics as the JSON snapshot document.
 func (c *Client) Metrics(ctx context.Context) (*apiv1.Metrics, error) {
 	var m apiv1.Metrics
 	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
 		return nil, err
 	}
 	return &m, checkKind(m.Schema, m.Kind, apiv1.KindMetrics)
+}
+
+// MetricsText fetches /metrics in Prometheus text exposition format.
+func (c *Client) MetricsText(ctx context.Context) ([]byte, error) {
+	return c.raw(ctx, "/metrics?format=prometheus")
+}
+
+// Trace fetches /debug/trace: the server-wide job lifecycle timeline
+// as Chrome trace-event JSON.
+func (c *Client) Trace(ctx context.Context) ([]byte, error) {
+	return c.raw(ctx, "/debug/trace")
+}
+
+// raw performs one unretried GET for non-document representations
+// (Prometheus text, trace JSON).
+func (c *Client) raw(ctx context.Context, path string) ([]byte, error) {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("X-Request-Id", nextRequestID())
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cleand: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(data))
+	}
+	return data, nil
 }
 
 // do performs the request with retries: each attempt is one round trip
@@ -238,8 +295,11 @@ func (c *Client) Metrics(ctx context.Context) (*apiv1.Metrics, error) {
 // acted — surface immediately; submissions survive caller-level retry
 // through their idempotency keys.
 func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	// One request id for every attempt of this call: the server's access
+	// log shows the retries of a submission as one correlated story.
+	reqID := nextRequestID()
 	for attempt := 1; ; attempt++ {
-		err := c.once(ctx, method, path, in, out)
+		err := c.once(ctx, method, path, reqID, in, out)
 		if err == nil || attempt >= c.maxAttempts {
 			return err
 		}
@@ -249,12 +309,22 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 		}
 		// Full jitter decorrelates a thundering herd of retriers.
 		delay := time.Duration(mathrand.Int63n(int64(c.retryDelay(attempt, e.RetryAfterSeconds)) + 1))
+		c.log.Debug("retrying request", "request_id", reqID, "method", method,
+			"path", path, "attempt", attempt, "status", e.Status,
+			"delay_seconds", delay.Seconds())
 		select {
 		case <-time.After(delay):
 		case <-ctx.Done():
 			return fmt.Errorf("cleand: retrying %s %s: %w (last: %v)", method, path, ctx.Err(), err)
 		}
 	}
+}
+
+// clientReqSeq numbers client-generated request ids process-wide.
+var clientReqSeq atomic.Uint64
+
+func nextRequestID() string {
+	return fmt.Sprintf("c-%d", clientReqSeq.Add(1))
 }
 
 // retryDelay is the pre-jitter backoff for the given attempt (1-based):
@@ -283,7 +353,7 @@ func (c *Client) retryDelay(attempt, retryAfterSeconds int) time.Duration {
 
 // once performs one round trip: encode the request document, decode the
 // response strictly, and turn any non-2xx envelope into a *v1.Error.
-func (c *Client) once(ctx context.Context, method, path string, in, out interface{}) error {
+func (c *Client) once(ctx context.Context, method, path, reqID string, in, out interface{}) error {
 	if c.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.timeout)
@@ -301,6 +371,7 @@ func (c *Client) once(ctx context.Context, method, path string, in, out interfac
 	if err != nil {
 		return err
 	}
+	req.Header.Set("X-Request-Id", reqID)
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}

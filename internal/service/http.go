@@ -1,15 +1,19 @@
 package service
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	apiv1 "repro/api/v1"
 	"repro/internal/faults"
+	"repro/internal/telemetry"
 )
 
 // MaxRequestBody bounds request documents; programs in the text IR are
@@ -27,12 +31,18 @@ const DefaultWait = 30 * time.Second
 //	DELETE /v1/sessions/{id}             close a session
 //	POST   /v1/sessions/{id}/jobs        submit a job (429 when the queue is full)
 //	GET    /v1/sessions/{id}/jobs/{job}  fetch a job; ?wait=5s long-polls
-//	GET    /healthz                      liveness + queue occupancy
-//	GET    /metrics                      the server's own metric snapshot
+//	GET    /healthz                      liveness, uptime + queue occupancy
+//	GET    /metrics                      metric snapshot; JSON or Prometheus text
+//	                                     by Accept header or ?format=
+//	GET    /debug/trace                  server-wide job lifecycle timeline
+//	                                     (Chrome trace-event / Perfetto JSON)
 //	POST   /debug/chaos                  arm fault injection (only with a Chaos injector)
 //
-// Every response body is an api/v1 document; every non-2xx response is a
-// v1.Error envelope.
+// Every response body is an api/v1 document (except the Prometheus and
+// trace representations above); every non-2xx response is a v1.Error
+// envelope. Each response carries an X-Request-Id — echoed from the
+// request when the client sent one — that the server's access and job
+// logs correlate with.
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
@@ -42,12 +52,52 @@ func Handler(s *Server) http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/jobs/{job}", s.handleGetJob)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	if s.chaos != nil {
 		// Deliberately absent unless cleand was started with -chaos: a
 		// production server has no fault-injection surface at all.
 		mux.HandleFunc("POST /debug/chaos", s.handleChaos)
 	}
-	return mux
+	return s.withRequestID(mux)
+}
+
+// reqSeq numbers server-generated request ids process-wide.
+var reqSeq atomic.Uint64
+
+// withRequestID assigns every request an id (keeping the client's
+// X-Request-Id when present), echoes it on the response, and writes an
+// access log line at debug level (warn for 5xx).
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = fmt.Sprintf("r-%d", reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		attrs := []interface{}{
+			"request_id", id, "method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "seconds", time.Since(start).Seconds(),
+		}
+		if sw.status >= 500 {
+			s.log.Warn("http request", attrs...)
+		} else {
+			s.log.Debug("http request", attrs...)
+		}
+	})
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -131,8 +181,54 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeDoc(w, http.StatusOK, s.Health())
 }
 
+// handleMetrics serves the metric snapshot in the representation the
+// client asked for: ?format=json|prometheus overrides, otherwise the
+// Accept header decides (application/json → JSON; text/plain or an
+// OpenMetrics type → Prometheus text exposition), defaulting to JSON —
+// the representation every pre-existing client expects.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeDoc(w, http.StatusOK, s.Metrics())
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		accept := r.Header.Get("Accept")
+		switch {
+		case strings.Contains(accept, "application/json"):
+			format = "json"
+		case strings.Contains(accept, "text/plain"),
+			strings.Contains(accept, "application/openmetrics-text"):
+			format = "prometheus"
+		default:
+			format = "json"
+		}
+	}
+	switch format {
+	case "json":
+		writeDoc(w, http.StatusOK, s.Metrics())
+	case "prometheus", "prom":
+		var buf bytes.Buffer
+		if err := telemetry.WritePrometheus(&buf, s.collectSnapshot()); err != nil {
+			writeError(w, apiv1.NewError(http.StatusInternalServerError, err.Error()))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write(buf.Bytes())
+	default:
+		writeError(w, apiv1.NewError(http.StatusBadRequest,
+			fmt.Sprintf("unknown metrics format %q (want json or prometheus)", format)))
+	}
+}
+
+// handleTrace serves the server-wide job lifecycle timeline in Chrome
+// trace-event JSON — load it in chrome://tracing or ui.perfetto.dev.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.WriteTrace(&buf); err != nil {
+		writeError(w, apiv1.NewError(http.StatusInternalServerError, err.Error()))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
 }
 
 // handleChaos arms the service-level fault injector (cleanstress's

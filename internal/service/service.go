@@ -29,7 +29,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -72,6 +75,9 @@ type Config struct {
 	// store writes; nil injects nothing. cmd/cleand -chaos arms it over
 	// /debug/chaos.
 	Chaos *faults.ServiceInjector
+	// Logger receives the server's structured log lines (job lifecycle,
+	// drain progress, HTTP access at debug level); nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +158,7 @@ type job struct {
 	deadline time.Time // zero = no wall-clock deadline
 	panicVal interface{}
 	runs     []apiv1.RunResult
+	marks    []traceMark   // lifecycle trace, guarded by Server.mu
 	done     chan struct{} // closed when state reaches JobDone
 
 	// The durable-acknowledgment handshake: ack closes once the
@@ -178,9 +185,12 @@ func (j *job) expired() bool {
 // Server owns the sessions, the job queue and the worker pool. All
 // methods are safe for concurrent use.
 type Server struct {
-	cfg   Config
-	store store.JobStore          // nil = memory only
-	chaos *faults.ServiceInjector // nil = no injection
+	cfg     Config
+	store   store.JobStore          // nil = memory only
+	chaos   *faults.ServiceInjector // nil = no injection
+	log     *slog.Logger
+	started time.Time
+	tline   *serverTimeline
 
 	mu        sync.Mutex
 	sessions  map[string]*session
@@ -197,9 +207,12 @@ type Server struct {
 
 	// The server's own registry counts sessions, submissions, rejections
 	// and runs; the telemetry registry is single-threaded by design, so
-	// every touch goes through metricsMu.
-	metricsMu sync.Mutex
-	metrics   *clean.Metrics
+	// every touch goes through metricsMu — as do the worker-utilization
+	// accumulators beside it.
+	metricsMu   sync.Mutex
+	metrics     *clean.Metrics
+	busyWorkers int
+	busySeconds float64
 }
 
 // New builds a server — recovering state from the configured store, if
@@ -208,7 +221,7 @@ func New(cfg Config) *Server {
 	s := newServer(cfg)
 	s.workers.Add(s.cfg.Workers)
 	for i := 0; i < s.cfg.Workers; i++ {
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
 }
@@ -221,7 +234,18 @@ func newServer(cfg Config) *Server {
 		cfg:      cfg.withDefaults(),
 		sessions: make(map[string]*session),
 		metrics:  clean.NewMetrics(),
+		started:  time.Now(),
 	}
+	s.log = s.cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s.tline = newServerTimeline(s.started, s.cfg.Workers)
+	// Pre-register the headline latency histogram so a scrape of a
+	// fresh server already carries its TYPE and bucket structure —
+	// Prometheus convention is that instruments exist at zero rather
+	// than appearing after the first event.
+	s.metrics.Histogram("service.job_seconds", jobLatencyBuckets...)
 	s.store = s.cfg.Store
 	s.chaos = s.cfg.Chaos
 	if s.store != nil && s.chaos != nil {
@@ -316,6 +340,9 @@ func (s *Server) recover(st *store.State) []*job {
 				close(j.done)
 			} else {
 				j.prog = p
+				// The original trace died with the crash; the re-run's
+				// trace starts at the re-enqueue.
+				j.mark(phaseQueued, j.accepted)
 				requeue = append(requeue, j)
 			}
 		}
@@ -434,6 +461,7 @@ func (s *Server) CreateSession(cfg apiv1.SessionConfig) (*apiv1.Session, error) 
 		return nil, &StoreError{Err: err}
 	}
 	s.count("service.sessions_created")
+	s.log.Info("session created", "session", sess.id, "detection", cfg.Detection)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return sess.v1(), nil
@@ -598,6 +626,7 @@ func (s *Server) Submit(sessionID string, spec apiv1.JobSpec, idemKey string) (*
 	if spec.DeadlineSeconds > 0 {
 		j.deadline = now.Add(time.Duration(spec.DeadlineSeconds * float64(time.Second)))
 	}
+	j.mark(phaseJournaled, now)
 	sess.jobs[j.id] = j
 	if idemKey != "" {
 		sess.byKey[idemKey] = j
@@ -624,14 +653,19 @@ func (s *Server) Submit(sessionID string, spec apiv1.JobSpec, idemKey string) (*
 		return nil, &StoreError{Err: err}
 	}
 
+	ackAt := time.Now()
 	s.mu.Lock()
 	s.reserved--
 	j.acked = true
 	close(j.ack)
+	j.mark(phaseQueued, ackAt)
 	s.queue <- j // cannot block: the reservation held our slot
 	doc := j.v1()
 	s.mu.Unlock()
+	s.tline.span(tidIntake, j.id, phaseJournaled, now, ackAt)
 	s.count("service.jobs_submitted")
+	s.log.Info("job accepted", "job", j.id, "session", sessionID,
+		"kind", jobKind(spec), "journal_wait_seconds", ackAt.Sub(now).Seconds())
 	return doc, nil
 }
 
@@ -707,24 +741,81 @@ func (s *Server) Health() *apiv1.Health {
 		Workers:       s.cfg.Workers,
 		Durable:       s.store != nil,
 		RecoveredJobs: s.recovered,
+		StartedAt:     s.started.UTC().Format(time.RFC3339Nano),
+		UptimeSeconds: time.Since(s.started).Seconds(),
 	}
 }
 
-// Metrics snapshots the server's own registry.
-func (s *Server) Metrics() *apiv1.Metrics {
+// collectSnapshot samples the live instruments (queue occupancy,
+// process runtime stats, uptime) into the registry and returns its
+// snapshot merged with the store's telemetry — the one source both
+// /metrics representations serialize.
+func (s *Server) collectSnapshot() telemetry.Snapshot {
+	s.mu.Lock()
+	depth := len(s.queue) + s.reserved
+	qcap := cap(s.queue)
+	sessions := len(s.sessions)
+	s.mu.Unlock()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
 	s.metricsMu.Lock()
+	s.metrics.Gauge("service.queue_depth").Set(float64(depth))
+	s.metrics.Gauge("service.queue_cap").Set(float64(qcap))
+	s.metrics.Gauge("service.queue_occupancy").Set(float64(depth) / float64(qcap))
+	s.metrics.Gauge("service.sessions_active").Set(float64(sessions))
+	s.metrics.Gauge("service.workers").Set(float64(s.cfg.Workers))
+	s.metrics.Gauge("service.worker_busy_seconds").Set(s.busySeconds)
+	s.metrics.Gauge("process.uptime_seconds").Set(time.Since(s.started).Seconds())
+	s.metrics.Gauge("process.goroutines").Set(float64(runtime.NumGoroutine()))
+	s.metrics.Gauge("process.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	s.metrics.Gauge("process.heap_sys_bytes").Set(float64(ms.HeapSys))
+	s.metrics.Gauge("process.gc_runs").Set(float64(ms.NumGC))
 	snap := s.metrics.Snapshot()
 	s.metricsMu.Unlock()
-	return &apiv1.Metrics{Schema: apiv1.SchemaVersion, Kind: apiv1.KindMetrics, Metrics: snap.V1()}
+
+	if s.store != nil {
+		mergeSnapshot(&snap, s.store.Metrics())
+	}
+	return snap
+}
+
+// Metrics snapshots the server's registry — live queue/worker/process
+// gauges sampled at collection time, the store's journal telemetry
+// merged in — as the timestamped /metrics JSON document.
+func (s *Server) Metrics() *apiv1.Metrics {
+	snap := s.collectSnapshot()
+	return &apiv1.Metrics{
+		Schema:      apiv1.SchemaVersion,
+		Kind:        apiv1.KindMetrics,
+		CollectedAt: time.Now().UTC().Format(time.RFC3339Nano),
+		Metrics:     snap.V1(),
+	}
+}
+
+// JobsCompleted is the lifetime count of jobs run to completion —
+// cmd/cleand samples it around Drain to report how many jobs finished
+// during the drain window.
+func (s *Server) JobsCompleted() uint64 {
+	s.metricsMu.Lock()
+	defer s.metricsMu.Unlock()
+	return s.metrics.Counter("service.jobs_completed").Value()
 }
 
 // Drain stops intake (submissions fail with ErrDraining), waits for
 // every accepted job — queued or running — to finish, then shuts the
 // worker pool down. It is idempotent; ctx bounds the wait.
 func (s *Server) Drain(ctx context.Context) error {
+	start := time.Now()
 	s.mu.Lock()
+	already := s.draining
 	s.draining = true
+	depth := len(s.queue) + s.reserved
 	s.mu.Unlock()
+	if !already {
+		s.log.Info("drain started", "queue_depth", depth)
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -734,29 +825,52 @@ func (s *Server) Drain(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
+		s.log.Warn("drain timed out", "seconds", time.Since(start).Seconds(), "err", ctx.Err())
 		return fmt.Errorf("service: drain: %w", ctx.Err())
 	}
 	// No submissions can be in progress past this point: Submit checks
 	// draining under mu before touching the queue.
 	s.closeOnce.Do(func() { close(s.queue) })
 	s.workers.Wait()
+	s.log.Info("drain finished", "seconds", time.Since(start).Seconds())
 	return nil
 }
 
-// worker consumes jobs until the queue is closed by Drain.
-func (s *Server) worker() {
+// worker consumes jobs until the queue is closed by Drain. id names the
+// worker's track on the server timeline.
+func (s *Server) worker(id int) {
 	defer s.workers.Done()
 	for j := range s.queue {
-		s.runOne(j)
+		s.runOne(j, id)
 	}
+}
+
+// beginBusy/endBusy maintain the worker-utilization instruments: the
+// current busy-worker gauge and the accumulated busy-seconds total
+// (utilization = busy_seconds / (uptime × workers)).
+func (s *Server) beginBusy() {
+	s.metricsMu.Lock()
+	s.busyWorkers++
+	s.metrics.Gauge("service.workers_busy").Set(float64(s.busyWorkers))
+	s.metricsMu.Unlock()
+}
+
+func (s *Server) endBusy(elapsed float64) {
+	s.metricsMu.Lock()
+	s.busyWorkers--
+	s.busySeconds += elapsed
+	s.metrics.Gauge("service.workers_busy").Set(float64(s.busyWorkers))
+	s.metrics.Gauge("service.worker_busy_seconds").Set(s.busySeconds)
+	s.metricsMu.Unlock()
 }
 
 // runOne executes a dequeued job end to end: chaos stall, panic
 // containment with a single requeue, persistence of the transitions,
 // and completion accounting. It owns the job's inFlight token.
-func (s *Server) runOne(j *job) {
+func (s *Server) runOne(j *job, worker int) {
 	// An injected stall window holds the worker idle in short slices
-	// (so Drain stays responsive), building real queue pressure.
+	// (so Drain stays responsive), building real queue pressure. The
+	// stall counts as queue time on the job's trace.
 	for {
 		d := s.chaos.StallRemaining()
 		if d <= 0 {
@@ -768,32 +882,50 @@ func (s *Server) runOne(j *job) {
 		time.Sleep(d)
 	}
 
+	runAt := time.Now()
 	s.mu.Lock()
 	j.state = apiv1.JobRunning
 	j.attempts++
 	attempt := j.attempts
+	queuedAt := j.lastMarkAt() // the queued (or requeued) mark
+	j.mark(phaseRunning, runAt)
 	s.mu.Unlock()
+	if !queuedAt.IsZero() {
+		s.tline.span(tidQueue, j.id, phaseQueued, queuedAt, runAt)
+	}
+	s.beginBusy()
+	defer func() { s.endBusy(time.Since(runAt).Seconds()) }()
 	s.putJobBestEffort(j, false)
 
 	runs, panicked := s.runContained(j)
 	if panicked {
 		s.count("service.worker_panics")
+		s.log.Warn("worker panic contained", "job", j.id, "worker", worker,
+			"attempt", attempt, "panic", fmt.Sprint(j.panicVal))
+		s.tline.instant(tidWorker(worker), j.id+" panic", "panic", time.Now())
 		if attempt == 1 {
 			// One requeue: back of the queue when there is room (other
 			// jobs make progress first), in-place retry when there isn't.
 			// Either way the job keeps its inFlight token, so Drain still
 			// waits for it and the queue cannot close underneath us.
 			s.count("service.jobs_requeued")
+			requeueAt := time.Now()
 			s.mu.Lock()
 			j.state = apiv1.JobQueued
 			if len(s.queue)+s.reserved < cap(s.queue) {
+				j.mark(phaseRequeued, requeueAt)
 				s.queue <- j
 				s.mu.Unlock()
+				s.tline.span(tidWorker(worker), j.id, phaseRunning, runAt, requeueAt)
 				s.putJobBestEffort(j, false)
+				s.log.Info("job requeued after panic", "job", j.id, "worker", worker)
 				return
 			}
 			j.state = apiv1.JobRunning
 			j.attempts++
+			// In-place retry: a fresh running span, so the trace still
+			// tells the two attempts apart.
+			j.mark(phaseRunning, requeueAt)
 			s.mu.Unlock()
 			runs, panicked = s.runContained(j)
 		}
@@ -808,21 +940,37 @@ func (s *Server) runOne(j *job) {
 		}
 	}
 
+	storedAt := time.Now()
 	s.mu.Lock()
 	j.runs = runs
 	j.state = apiv1.JobDone
 	j.sess.done++
-	latency := time.Since(j.accepted).Seconds()
+	attempts := j.attempts
+	j.mark(phaseStored, storedAt)
 	s.mu.Unlock()
 	// Results are appended durably: a crash after this fsync serves them
 	// from the store; a crash before it deterministically recomputes
 	// them. Failure is absorbed — the in-memory result stands.
 	s.putJobBestEffort(j, true)
+	doneAt := time.Now()
+	s.mu.Lock()
+	j.mark(phaseDone, doneAt)
+	s.mu.Unlock()
 	close(j.done)
+	s.tline.span(tidWorker(worker), j.id, phaseRunning, runAt, storedAt)
+	s.tline.span(tidWorker(worker), j.id, phaseStored, storedAt, doneAt)
+	latency := doneAt.Sub(j.accepted).Seconds()
+	outcome := jobOutcome(runs)
+	kind := jobKind(j.spec)
 	s.metricsMu.Lock()
 	s.metrics.Counter("service.jobs_completed").Inc()
 	s.metrics.Histogram("service.job_seconds", jobLatencyBuckets...).Observe(latency)
+	s.metrics.Histogram(
+		telemetry.LabeledName("service.job_seconds_by", "kind", kind, "outcome", outcome),
+		jobLatencyBuckets...).Observe(latency)
 	s.metricsMu.Unlock()
+	s.log.Info("job done", "job", j.id, "session", j.sess.id, "worker", worker,
+		"outcome", outcome, "attempts", attempts, "seconds", latency)
 	s.inFlight.Done()
 }
 
@@ -1121,5 +1269,6 @@ func (j *job) v1() *apiv1.Job {
 		Attempts:       j.attempts,
 	}
 	doc.Runs = append(doc.Runs, j.runs...)
+	doc.Trace = j.traceV1()
 	return doc
 }

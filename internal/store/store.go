@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	apiv1 "repro/api/v1"
+	"repro/internal/telemetry"
 )
 
 // SessionRecord is the durable state of one session.
@@ -137,6 +138,12 @@ type JobStore interface {
 	PutJob(rec JobRecord, durable bool) error
 	// Compact folds the journal into a snapshot, bounding recovery time.
 	Compact() error
+	// Metrics snapshots the store's own telemetry — journal bytes and
+	// record counts, fsync latency, group-commit batch size, compaction
+	// count/duration — under the "store." name prefix, for merging into
+	// the service's /metrics document. Implementations without telemetry
+	// return the zero Snapshot.
+	Metrics() telemetry.Snapshot
 	// Close flushes and releases the store.
 	Close() error
 }
@@ -174,6 +181,9 @@ func (m *MemStore) PutJob(rec JobRecord, durable bool) error {
 
 // Compact implements JobStore (a no-op: there is no journal).
 func (m *MemStore) Compact() error { return nil }
+
+// Metrics implements JobStore; a MemStore has no durability telemetry.
+func (m *MemStore) Metrics() telemetry.Snapshot { return telemetry.Snapshot{} }
 
 // Close implements JobStore.
 func (m *MemStore) Close() error { return nil }

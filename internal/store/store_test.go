@@ -312,3 +312,52 @@ func fileSize(t *testing.T, path string) int64 {
 	}
 	return fi.Size()
 }
+
+// TestFileStoreMetrics: durable appends and a compaction leave the
+// expected telemetry in the store's registry snapshot.
+func TestFileStoreMetrics(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	defer s.Close()
+
+	for i := 1; i <= 3; i++ {
+		if err := s.PutJob(jobN(i, apiv1.JobQueued), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Metrics()
+	if snap.Counters["store.fsyncs"] < 1 {
+		t.Errorf("fsyncs = %d, want >= 1", snap.Counters["store.fsyncs"])
+	}
+	if snap.Counters["store.journal_records"] != 3 {
+		t.Errorf("journal_records = %d, want 3", snap.Counters["store.journal_records"])
+	}
+	if snap.Gauges["store.journal_bytes"] <= 0 {
+		t.Errorf("journal_bytes gauge = %v, want > 0", snap.Gauges["store.journal_bytes"])
+	}
+	h, ok := snap.Histograms["store.fsync_seconds"]
+	if !ok || h.Count < 1 {
+		t.Errorf("fsync_seconds histogram missing or empty: %+v", h)
+	}
+	gc, ok := snap.Histograms["store.group_commit_records"]
+	if !ok || gc.Count < 1 || gc.Sum != 3 {
+		t.Errorf("group_commit_records = %+v, want count>=1 sum=3", gc)
+	}
+
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	snap = s.Metrics()
+	if snap.Counters["store.compactions"] != 1 {
+		t.Errorf("compactions = %d, want 1", snap.Counters["store.compactions"])
+	}
+	if snap.Gauges["store.journal_bytes"] != 0 {
+		t.Errorf("journal_bytes after compact = %v, want 0", snap.Gauges["store.journal_bytes"])
+	}
+	if snap.Gauges["store.snapshot_bytes"] <= 0 {
+		t.Errorf("snapshot_bytes = %v, want > 0", snap.Gauges["store.snapshot_bytes"])
+	}
+	if ch, ok := snap.Histograms["store.compact_seconds"]; !ok || ch.Count != 1 {
+		t.Errorf("compact_seconds = %+v, want count 1", ch)
+	}
+}

@@ -1,0 +1,426 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for a registry
+// Snapshot, so `GET /metrics` on cleand can serve a standard scrape
+// target alongside the JSON snapshot document.
+//
+// Registry names stay dotted ("service.jobs_submitted"); the encoder
+// sanitizes them into the Prometheus metric-name charset at write time.
+// Labels ride inside the registry name using the exposition's own
+// syntax — LabeledName("service.job_seconds", "kind", "litmus") returns
+// `service.job_seconds{kind="litmus"}` — which keeps the registry a flat
+// string-keyed map (the JSON snapshot shows the raw name) while the
+// encoder splits the name, sanitizes the family and label names, and
+// re-escapes the values.
+
+// LabeledName renders base plus label pairs (key, value, key, value, …)
+// in the registry's labeled-name convention. Values are escaped here so
+// the stored name is always parseable; an odd trailing key is dropped.
+func LabeledName(base string, pairs ...string) string {
+	if len(pairs) < 2 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(pairs[i+1]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition escaping rules for label
+// values: backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// SanitizeMetricName maps an arbitrary registry name onto the Prometheus
+// metric-name charset [a-zA-Z_:][a-zA-Z0-9_:]*: dots and every other
+// invalid rune become underscores, and a leading digit gets an
+// underscore prefix. Empty input sanitizes to "_".
+func SanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		valid := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if valid {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// SanitizeLabelName maps an arbitrary string onto the label-name charset
+// [a-zA-Z_][a-zA-Z0-9_]*; colons are not allowed in label names. Names
+// beginning with "__" are reserved by Prometheus, so a leading
+// double-underscore is folded to one.
+func SanitizeLabelName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		valid := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if valid {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	for strings.HasPrefix(out, "__") {
+		out = out[1:]
+	}
+	return out
+}
+
+// promLabel is one parsed key="value" pair.
+type promLabel struct{ key, value string }
+
+// splitName separates a registry name into its base and any labels
+// recorded by LabeledName. Label keys are sanitized; values are kept as
+// stored (already escaped by LabeledName; hand-written names with raw
+// quote/newline runes are re-escaped defensively).
+func splitName(name string) (string, []promLabel) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	base := name[:open]
+	var labels []promLabel
+	for _, part := range splitLabelList(name[open+1 : len(name)-1]) {
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			continue
+		}
+		val := strings.TrimPrefix(strings.TrimSuffix(part[eq+1:], `"`), `"`)
+		labels = append(labels, promLabel{key: SanitizeLabelName(part[:eq]), value: val})
+	}
+	return base, labels
+}
+
+// splitLabelList splits `k="v",k2="v2"` on commas outside quotes.
+func splitLabelList(s string) []string {
+	var (
+		parts  []string
+		start  int
+		quoted bool
+	)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if quoted {
+				i++ // skip the escaped rune
+			}
+		case '"':
+			quoted = !quoted
+		case ',':
+			if !quoted {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		parts = append(parts, s[start:])
+	}
+	return parts
+}
+
+// formatLabels renders a label set (plus optional extra pairs, used for
+// histogram le) into `{k="v",…}`, empty string for no labels.
+func formatLabels(labels []promLabel, extra ...promLabel) string {
+	all := append(append([]promLabel(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.key)
+		b.WriteString(`="`)
+		b.WriteString(l.value)
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip decimal, with the infinities spelled +Inf/-Inf.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format: counters and gauges as single samples, histograms as
+// cumulative _bucket/_sum/_count families. Output is deterministic —
+// families sorted by sanitized name, then raw registry name — so tests
+// can pin it byte-for-byte.
+func WritePrometheus(w io.Writer, snap Snapshot) error {
+	var b strings.Builder
+
+	type sample struct {
+		raw  string // registry name, for stable intra-family order
+		line string
+	}
+	families := make(map[string]string)  // sanitized family name → TYPE
+	samples := make(map[string][]sample) // family → samples
+	add := func(family, typ, raw, line string) {
+		if prev, ok := families[family]; ok && prev != typ {
+			// Two registry names sanitized onto one family with different
+			// types; keep the first type and still emit the sample (the
+			// scraper sees a type mismatch rather than silent data loss).
+			typ = prev
+		}
+		families[family] = typ
+		samples[family] = append(samples[family], sample{raw: raw, line: line})
+	}
+
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		base, labels := splitName(n)
+		fam := SanitizeMetricName(base)
+		add(fam, "counter", n, fam+formatLabels(labels)+" "+strconv.FormatUint(snap.Counters[n], 10))
+	}
+
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		base, labels := splitName(n)
+		fam := SanitizeMetricName(base)
+		add(fam, "gauge", n, fam+formatLabels(labels)+" "+formatFloat(snap.Gauges[n]))
+	}
+
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		base, labels := splitName(n)
+		fam := SanitizeMetricName(base)
+		h := snap.Histograms[n]
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			add(fam, "histogram", n, fam+"_bucket"+
+				formatLabels(labels, promLabel{key: "le", value: formatFloat(bound)})+
+				" "+strconv.FormatUint(cum, 10))
+		}
+		add(fam, "histogram", n, fam+"_bucket"+
+			formatLabels(labels, promLabel{key: "le", value: "+Inf"})+
+			" "+strconv.FormatUint(h.Count, 10))
+		add(fam, "histogram", n, fam+"_sum"+formatLabels(labels)+" "+formatFloat(h.Sum))
+		add(fam, "histogram", n, fam+"_count"+formatLabels(labels)+" "+strconv.FormatUint(h.Count, 10))
+	}
+
+	fams := make([]string, 0, len(families))
+	for f := range families {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	for _, f := range fams {
+		b.WriteString("# TYPE ")
+		b.WriteString(f)
+		b.WriteByte(' ')
+		b.WriteString(families[f])
+		b.WriteByte('\n')
+		ss := samples[f]
+		sort.SliceStable(ss, func(i, j int) bool { return ss[i].raw < ss[j].raw })
+		for _, s := range ss {
+			b.WriteString(s.line)
+			b.WriteByte('\n')
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CheckPrometheusText validates that data parses as the text exposition
+// format: every non-comment line must be `name[{labels}] value
+// [timestamp]` with a legal metric name, well-formed label syntax and a
+// parseable float value. It is the validator cleanstress and CI run
+// against a live /metrics scrape.
+func CheckPrometheusText(data []byte) error {
+	lines := strings.Split(string(data), "\n")
+	sawSample := false
+	for i, line := range lines {
+		line = strings.TrimRight(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest, err := checkPromName(line)
+		if err != nil {
+			return fmt.Errorf("telemetry: prometheus line %d: %w (%q)", i+1, err, line)
+		}
+		if strings.HasPrefix(rest, "{") {
+			end, err := checkPromLabels(rest)
+			if err != nil {
+				return fmt.Errorf("telemetry: prometheus line %d: %w (%q)", i+1, err, line)
+			}
+			rest = rest[end:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return fmt.Errorf("telemetry: prometheus line %d: want `value [timestamp]` after name (%q)", i+1, line)
+		}
+		if _, err := parsePromValue(fields[0]); err != nil {
+			return fmt.Errorf("telemetry: prometheus line %d: bad value %q (%q)", i+1, fields[0], line)
+		}
+		if len(fields) == 2 {
+			if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+				return fmt.Errorf("telemetry: prometheus line %d: bad timestamp %q", i+1, fields[1])
+			}
+		}
+		sawSample = true
+	}
+	if !sawSample {
+		return fmt.Errorf("telemetry: prometheus exposition has no samples")
+	}
+	return nil
+}
+
+// checkPromName consumes a metric name prefix and returns the remainder.
+func checkPromName(line string) (string, error) {
+	i := 0
+	for ; i < len(line); i++ {
+		c := line[i]
+		if c == '{' || c == ' ' || c == '\t' {
+			break
+		}
+		valid := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !valid {
+			return "", fmt.Errorf("invalid metric-name rune %q at %d", c, i)
+		}
+	}
+	if i == 0 {
+		return "", fmt.Errorf("empty metric name")
+	}
+	return line[i:], nil
+}
+
+// checkPromLabels validates a `{k="v",…}` block and returns the offset
+// just past the closing brace.
+func checkPromLabels(s string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			c := s[i]
+			valid := c == '_' ||
+				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+				(c >= '0' && c <= '9' && i > start)
+			if !valid {
+				return 0, fmt.Errorf("invalid label-name rune %q", c)
+			}
+			i++
+		}
+		if i == start || i >= len(s) {
+			return 0, fmt.Errorf("malformed label pair")
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label value must be quoted")
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value")
+		}
+		i++ // closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parsePromValue parses a sample value, accepting the exposition's
+// special spellings.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf", "-Inf", "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"service.jobs_submitted", "service_jobs_submitted"},
+		{"store.fsync-seconds", "store_fsync_seconds"},
+		{"9lives", "_9lives"},
+		{"", "_"},
+		{"ok:name_1", "ok:name_1"},
+		{"weird name/with runes", "weird_name_with_runes"},
+	}
+	for _, c := range cases {
+		if got := SanitizeMetricName(c.in); got != c.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSanitizeLabelName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"kind", "kind"},
+		{"job.kind", "job_kind"},
+		{"__reserved", "_reserved"},
+		{"2fast", "_2fast"},
+		{"", "_"},
+		{"no:colons", "no_colons"},
+	}
+	for _, c := range cases {
+		if got := SanitizeLabelName(c.in); got != c.want {
+			t.Errorf("SanitizeLabelName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLabeledNameRoundTrip(t *testing.T) {
+	name := LabeledName("service.job_seconds", "kind", "litmus", "outcome", `race "quoted"`+"\nnl")
+	base, labels := splitName(name)
+	if base != "service.job_seconds" {
+		t.Fatalf("base %q", base)
+	}
+	if len(labels) != 2 || labels[0].key != "kind" || labels[0].value != "litmus" {
+		t.Fatalf("labels %+v", labels)
+	}
+	// The stored value carries the exposition escapes, so the rendered
+	// sample line is legal as-is.
+	if want := `race \"quoted\"\nnl`; labels[1].value != want {
+		t.Fatalf("escaped value %q, want %q", labels[1].value, want)
+	}
+}
+
+// TestWritePrometheusEscaping pins the exposition output for names that
+// need every sanitization rule: dotted names, labels, hostile label
+// values, leading digits.
+func TestWritePrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("service.jobs_submitted").Add(3)
+	r.Counter(LabeledName("service.jobs_by", "kind", `lit"mus`)).Add(2)
+	r.Gauge("9depth").Set(1.5)
+	r.Histogram("store.fsync_seconds", 0.001, 0.01).Observe(0.002)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE service_jobs_submitted counter\nservice_jobs_submitted 3\n",
+		"# TYPE service_jobs_by counter\nservice_jobs_by{kind=\"lit\\\"mus\"} 2\n",
+		"# TYPE _9depth gauge\n_9depth 1.5\n",
+		"# TYPE store_fsync_seconds histogram\n",
+		"store_fsync_seconds_bucket{le=\"0.001\"} 0\n",
+		"store_fsync_seconds_bucket{le=\"0.01\"} 1\n",
+		"store_fsync_seconds_bucket{le=\"+Inf\"} 1\n",
+		"store_fsync_seconds_sum 0.002\n",
+		"store_fsync_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	if err := CheckPrometheusText([]byte(out)); err != nil {
+		t.Fatalf("own exposition does not validate: %v", err)
+	}
+}
+
+// TestWritePrometheusHistogramCumulative checks bucket counts are
+// cumulative, not per-bucket.
+func TestWritePrometheusHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 1, 2, 4)
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 10} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_bucket{le="1"} 1`,
+		`lat_bucket{le="2"} 3`,
+		`lat_bucket{le="4"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		r.Counter("b.two").Inc()
+		r.Counter("a.one").Inc()
+		r.Gauge("c.three").Set(3)
+		r.Histogram("a.hist", 1).Observe(0.5)
+		return r.Snapshot()
+	}
+	var x, y strings.Builder
+	if err := WritePrometheus(&x, build()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&y, build()); err != nil {
+		t.Fatal(err)
+	}
+	if x.String() != y.String() {
+		t.Fatalf("nondeterministic exposition:\n%s\n---\n%s", x.String(), y.String())
+	}
+}
+
+func TestCheckPrometheusText(t *testing.T) {
+	good := [][]byte{
+		[]byte("a_metric 1\n"),
+		[]byte("# HELP x y\n# TYPE x counter\nx{l=\"v\"} 2 1700000000\n"),
+		[]byte("x{l=\"quoted \\\" and \\\\\"} +Inf\n"),
+	}
+	for _, g := range good {
+		if err := CheckPrometheusText(g); err != nil {
+			t.Errorf("valid exposition rejected: %v\n%s", err, g)
+		}
+	}
+	bad := [][]byte{
+		[]byte(""),                        // no samples
+		[]byte("# only comments\n"),       // no samples
+		[]byte("1bad 2\n"),                // name starts with digit
+		[]byte("m{k=\"unterminated} 1\n"), // broken label value
+		[]byte("m{k=v} 1\n"),              // unquoted label value
+		[]byte("metric notanumber\n"),     // bad value
+		[]byte("metric 1 2 3\n"),          // trailing junk
+		[]byte("we.dotted 1\n"),           // dot in metric name
+	}
+	for _, b := range bad {
+		if err := CheckPrometheusText(b); err == nil {
+			t.Errorf("invalid exposition accepted: %q", b)
+		}
+	}
+}
