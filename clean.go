@@ -363,6 +363,10 @@ func RunWorkload(name, scale string, modified bool, cfg Config) (*Report, error)
 		tr.Metrics = cfg.Metrics.Snapshot()
 		rep.Telemetry = tr
 	}
+	// The detector is unreachable past this point: recycle its shadow
+	// pages so back-to-back workload runs (the service's steady state)
+	// serve from the pool instead of the garbage collector.
+	m.ReleaseMetadata()
 	return rep, nil
 }
 

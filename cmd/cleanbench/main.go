@@ -39,6 +39,7 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 		parallel = flag.Bool("parallel", false, "fan independent runs across CPU cores (deterministic output is unchanged)")
 		workers  = flag.Int("workers", 0, "worker count for -parallel (0 = GOMAXPROCS)")
+		baseline = flag.String("baseline", "", "directory holding baseline BENCH_hotpath.json; the hotpath experiment fails on tolerance-band regressions against it")
 	)
 	flag.Parse()
 
@@ -80,7 +81,7 @@ func main() {
 		}()
 	}
 
-	opts := harness.Options{Reps: *reps, YieldEvery: *yieldEv, Verbose: *verbose, ArtifactDir: *artDir, JSONDir: *jsonDir}
+	opts := harness.Options{Reps: *reps, YieldEvery: *yieldEv, Verbose: *verbose, ArtifactDir: *artDir, JSONDir: *jsonDir, BaselineDir: *baseline}
 	if *parallel {
 		opts.Parallel = *workers
 		if opts.Parallel <= 0 {

@@ -22,10 +22,13 @@ import (
 
 // resourceSample is one poll of the server's live instruments.
 type resourceSample struct {
-	at           time.Time
-	goroutines   float64
-	heapBytes    float64
-	journalBytes float64
+	at            time.Time
+	goroutines    float64
+	heapBytes     float64
+	journalBytes  float64
+	shadowPages   float64 // shadow.mapped_pages: live pages across in-flight jobs
+	shadowMeta    float64 // shadow.metadata_bytes: logical live metadata
+	shadowHitRate float64 // shadow.pool_hit_rate: page-pool recycling efficiency
 }
 
 // sampler polls /metrics on an interval and keeps the series. The
@@ -94,10 +97,13 @@ func (sm *sampler) sample(ctx context.Context) {
 		return // a missed poll thins the curve; the SLOs use what landed
 	}
 	s := resourceSample{
-		at:           time.Now(),
-		goroutines:   m.Metrics.Gauges["process.goroutines"],
-		heapBytes:    m.Metrics.Gauges["process.heap_alloc_bytes"],
-		journalBytes: m.Metrics.Gauges["store.journal_bytes"],
+		at:            time.Now(),
+		goroutines:    m.Metrics.Gauges["process.goroutines"],
+		heapBytes:     m.Metrics.Gauges["process.heap_alloc_bytes"],
+		journalBytes:  m.Metrics.Gauges["store.journal_bytes"],
+		shadowPages:   m.Metrics.Gauges["shadow.mapped_pages"],
+		shadowMeta:    m.Metrics.Gauges["shadow.metadata_bytes"],
+		shadowHitRate: m.Metrics.Gauges["shadow.pool_hit_rate"],
 	}
 	sm.mu.Lock()
 	sm.samples = append(sm.samples, s)
@@ -152,6 +158,7 @@ const (
 	maxGoroutineGrowth = 25               // post-drain goroutines over the pre-load count
 	maxHeapGrowthBytes = 64 << 20         // post-drain heap over max(3x start, start+this)
 	maxJournalBytes    = 64 << 20         // peak journal size (auto-compaction holds it ~8 MiB)
+	maxShadowPageDrift = 64               // post-drain live shadow pages over the pre-load count
 	mib                = float64(1 << 20) // for messages
 )
 
@@ -174,6 +181,8 @@ func (sm *sampler) resourceReport(w *os.File, f *telemetry.BenchFile) []string {
 		{"goroutines", func(s resourceSample) float64 { return s.goroutines }},
 		{"heap_bytes", func(s resourceSample) float64 { return s.heapBytes }},
 		{"journal_bytes", func(s resourceSample) float64 { return s.journalBytes }},
+		{"shadow_pages", func(s resourceSample) float64 { return s.shadowPages }},
+		{"shadow_meta_bytes", func(s resourceSample) float64 { return s.shadowMeta }},
 	}
 	for _, c := range curves {
 		for p, v := range curve(sm.samples, c.get) {
@@ -184,10 +193,14 @@ func (sm *sampler) resourceReport(w *os.File, f *telemetry.BenchFile) []string {
 	f.AddSummary("soak.resource_samples", float64(len(sm.samples)))
 	f.AddSummary("soak.prom_scrapes_checked", float64(sm.promChecked))
 	f.AddSummary("soak.prom_scrape_errors", float64(len(sm.promErrs)))
+	f.AddSummary("soak.shadow_pool_hit_rate", last.shadowHitRate)
 
 	fmt.Fprintf(w, "resources:  goroutines %d→%d, heap %.1f→%.1f MiB, journal peak %.1f MiB (%d samples)\n",
 		int(first.goroutines), int(last.goroutines), first.heapBytes/mib, last.heapBytes/mib,
 		seriesMax(sm.samples, curves[2].get)/mib, len(sm.samples))
+	fmt.Fprintf(w, "shadow:     pages %d→%d (peak %d), meta peak %.1f MiB, pool hit rate %.2f\n",
+		int(first.shadowPages), int(last.shadowPages), int(seriesMax(sm.samples, curves[3].get)),
+		seriesMax(sm.samples, curves[4].get)/mib, last.shadowHitRate)
 
 	// Unbounded-growth tripwires, judged start → post-drain.
 	if last.goroutines > first.goroutines+maxGoroutineGrowth {
@@ -208,6 +221,14 @@ func (sm *sampler) resourceReport(w *os.File, f *telemetry.BenchFile) []string {
 		violations = append(violations, fmt.Sprintf(
 			"journal peaked at %.1f MiB (cap %.1f MiB); compaction is not holding",
 			peak/mib, float64(maxJournalBytes)/mib))
+	}
+	// Shadow flatness: job paths release their regions on completion, so
+	// after the drain the live page gauge must be back at its pre-load
+	// level (mid-soak values track in-flight jobs and are not leaks).
+	if last.shadowPages > first.shadowPages+maxShadowPageDrift {
+		violations = append(violations, fmt.Sprintf(
+			"shadow pages grew %d → %d over the soak (drift cap +%d); a job path is not releasing its region",
+			int(first.shadowPages), int(last.shadowPages), maxShadowPageDrift))
 	}
 
 	// Exposition validity: every scrape must parse, and at least one
@@ -240,6 +261,8 @@ var gatedKeys = []baselineBand{
 	{"soak.curve.goroutines.p100", 2, 50},
 	{"soak.curve.heap_bytes.max", 3, 64 << 20},
 	{"soak.curve.journal_bytes.max", 3, 32 << 20},
+	{"soak.curve.shadow_pages.p100", 2, 64},
+	{"soak.curve.shadow_meta_bytes.max", 3, 8 << 20},
 }
 
 // gateAgainstBaseline diffs the soak's bench file against the

@@ -12,6 +12,7 @@ import (
 	clean "repro"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/shadow"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -51,6 +52,11 @@ type Options struct {
 	// all deterministic output (counters, hashes, outcomes, tables) is
 	// byte-identical to a sequential run.
 	Parallel int
+	// BaselineDir, if non-empty, makes the hotpath experiment gate its
+	// fresh measurements against the BENCH_hotpath.json checked in there:
+	// any allocs_per_op above baseline or ns_per_op beyond the tolerance
+	// band fails the experiment (cleanbench -baseline).
+	BaselineDir string
 }
 
 func (o Options) reps(def int) int {
@@ -108,6 +114,10 @@ type runResult struct {
 	hash     uint64
 	counters []uint64
 	detStats *core.Stats
+	// footprint is the CLEAN detector's shadow footprint at run end,
+	// captured before the pages are recycled to the pool (the region
+	// reads zero afterwards).
+	footprint shadow.Footprint
 }
 
 // machineConfig translates a runCfg onto the facade's functional options
@@ -170,7 +180,13 @@ func runWorkload(w workloads.Workload, scale workloads.Scale, variant workloads.
 		s := cd.Stats()
 		res.detStats = &s
 		s.PublishTo(cfg.metrics)
+		cd.PublishFootprintTo(cfg.metrics)
+		res.footprint = cd.Footprint()
 	}
+	// Recycle the detector's shadow pages: repeated harness runs (and the
+	// parallel engine's fan-out) then serve page materializations from
+	// the pool. Experiments needing footprint numbers read res.footprint.
+	m.ReleaseMetadata()
 	return res
 }
 

@@ -3,6 +3,10 @@ package harness
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -73,6 +77,51 @@ func Hotpath(w io.Writer, o Options) error {
 				old, new = new, old
 			}
 		}},
+		{"shadow.load_all_equal8_compact", func(b *testing.B) {
+			// A full-line store leaves the line compact: the 8-byte check
+			// is a single epoch compare (§4.4 at line granularity).
+			r := shadow.New()
+			r.StoreRange(64, shadow.LineBytes, epochA)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _, _ = r.LoadAllEqual(64, 8)
+			}
+		}},
+		{"shadow.load_all_equal64_line", func(b *testing.B) {
+			// Whole-line check on a compact line: 64 bytes validated by
+			// one comparison.
+			r := shadow.New()
+			r.StoreRange(64, shadow.LineBytes, epochA)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _, _ = r.LoadAllEqual(64, shadow.LineBytes)
+			}
+		}},
+		{"shadow.store_range64", func(b *testing.B) {
+			// Full-line stores write one compact epoch instead of 64;
+			// alternating epochs keeps the store from degenerating into a
+			// same-value no-op.
+			r := shadow.New()
+			e := [2]vclock.Epoch{epochA, epochB}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.StoreRange(128, shadow.LineBytes, e[i&1])
+			}
+		}},
+		{"shadow.reset_recycle", func(b *testing.B) {
+			// Touch four pages, roll over, repeat: the steady state is
+			// pure pool recycling — header scrubs, no allocation.
+			r := shadow.New()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.StoreRange(0, shadow.PageBytes*4, epochA)
+				r.Reset()
+			}
+		}},
 		{"machine.access", func(b *testing.B) {
 			benchMachineAccess(b, nil)
 		}},
@@ -102,7 +151,78 @@ func Hotpath(w io.Writer, o Options) error {
 		}
 		fmt.Fprintf(w, "wrote %s\n", path)
 	}
+	if o.BaselineDir != "" {
+		violations, err := gateHotpathBaseline(bench, o.BaselineDir)
+		if err != nil {
+			return err
+		}
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(w, "BASELINE VIOLATION: %s\n", v)
+			}
+			return fmt.Errorf("hotpath: %d baseline violation(s) against %s", len(violations), o.BaselineDir)
+		}
+		fmt.Fprintf(w, "baseline gate ok (%s)\n", o.BaselineDir)
+	}
 	return nil
+}
+
+// hotpathNsBand is the tolerance for gated ns_per_op keys: current must
+// stay within max(factor × base, base + slackNs). The band is generous —
+// shared CI runners are an order of magnitude noisier than a quiet
+// machine — so only step-function regressions (a lost fast path, a new
+// allocation, an accidental O(n) scan) trip it.
+const (
+	hotpathNsFactor = 4.0
+	hotpathNsSlack  = 50.0 // ns
+)
+
+// gateHotpathBaseline compares a fresh hotpath bench file against the
+// checked-in baseline: every key present in both is gated — allocs_per_op
+// must not exceed the baseline (which pins the hot paths at zero), and
+// ns_per_op must stay inside the tolerance band. Keys only in one file are
+// ignored, so adding a benchmark does not invalidate an old baseline.
+func gateHotpathBaseline(cur *telemetry.BenchFile, dir string) ([]string, error) {
+	path := filepath.Join(dir, telemetry.BenchFileName("hotpath"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("hotpath: baseline unreadable: %w", err)
+	}
+	base, err := telemetry.DecodeBenchFile(data)
+	if err != nil {
+		return nil, fmt.Errorf("hotpath: baseline %s: %w", path, err)
+	}
+	keys := make([]string, 0, len(base.Summary))
+	for k := range base.Summary {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var violations []string
+	for _, k := range keys {
+		bv := base.Summary[k]
+		cv, ok := cur.Summary[k]
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(k, ".allocs_per_op"):
+			if cv > bv {
+				violations = append(violations, fmt.Sprintf(
+					"%s = %g allocs, baseline %g — the hot path started allocating", k, cv, bv))
+			}
+		case strings.HasSuffix(k, ".ns_per_op"):
+			allowed := hotpathNsFactor * bv
+			if lo := bv + hotpathNsSlack; lo > allowed {
+				allowed = lo
+			}
+			if cv > allowed {
+				violations = append(violations, fmt.Sprintf(
+					"%s = %.2f ns exceeds band %.2f (base %.2f, ≤ max(%g×, +%gns))",
+					k, cv, allowed, bv, hotpathNsFactor, hotpathNsSlack))
+			}
+		}
+	}
+	return violations, nil
 }
 
 // benchMachineAccess times the full instrumented 8-byte shared store —

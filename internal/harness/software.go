@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fasttrack"
 	"repro/internal/machine"
+	"repro/internal/shadow"
 	"repro/internal/stats"
 	"repro/internal/tsanlite"
 	"repro/internal/vclock"
@@ -152,13 +153,14 @@ func Table1(w io.Writer, o Options) error {
 	ye := o.yieldEvery()
 	narrow := vclock.Layout{TIDBits: 8, ClockBits: 10}
 	wide := vclock.WideClockLayout
-	tb := stats.NewTable("benchmark", "rollovers/s", "exec time decrease (28-bit)")
+	tb := stats.NewTable("benchmark", "rollovers/s", "exec time decrease (28-bit)", "shadow meta")
 	for _, wl := range perfSuite() {
 		// The narrow runs are fanned out by index so the per-rep rollover
 		// counts can be summed afterwards without a shared accumulator.
 		type narrowRun struct {
 			elapsed   time.Duration
 			rollovers uint64
+			footprint shadow.Footprint
 		}
 		runs := ForEachIndexed(o.workers(), reps, func(rep int) narrowRun {
 			r := runWorkload(wl, scale, workloads.Modified, runCfg{
@@ -169,7 +171,7 @@ func Table1(w io.Writer, o Options) error {
 			if r.err != nil {
 				panic(fmt.Sprintf("table1: %s: %v", wl.Name, r.err))
 			}
-			return narrowRun{elapsed: r.elapsed, rollovers: r.stats.Rollovers}
+			return narrowRun{elapsed: r.elapsed, rollovers: r.stats.Rollovers, footprint: r.footprint}
 		})
 		var rollovers uint64
 		secs := make([]float64, 0, reps)
@@ -194,7 +196,12 @@ func Table1(w io.Writer, o Options) error {
 		})
 		perSec := float64(rollovers) / float64(reps) / narrowT
 		decrease := (narrowT - wideT) / narrowT * 100
-		tb.AddRow(wl.Name, perSec, fmt.Sprintf("%.1f%%", decrease))
+		// Footprint of the rep-0 run (deterministic under detSync): how
+		// much of the adaptive shadow the workload left expanded at exit.
+		fp := runs[0].footprint
+		tb.AddRow(wl.Name, perSec, fmt.Sprintf("%.1f%%", decrease),
+			fmt.Sprintf("%dpg/%dexp/%.1fKiB", fp.MappedPages, fp.LinesExpanded,
+				float64(fp.MetadataBytes)/1024))
 	}
 	fmt.Fprintln(w, "clock widths: default 10 bits (scaled from the paper's 23), wide 28 bits")
 	_, err := fmt.Fprint(w, tb.String())
@@ -230,18 +237,20 @@ func Ablation(w io.Writer, o Options) error {
 		cN := time1(cleanDetector(core.Config{})) / base
 		fN := time1(func() machine.Detector { return fasttrack.New(fasttrack.Config{}) }) / base
 		tN := time1(func() machine.Detector { return tsanlite.New(tsanlite.Config{}) }) / base
-		// Metadata comparison from single runs.
+		// Metadata comparison from single runs. CLEAN's footprint is
+		// captured at run end (runWorkload recycles the shadow pages
+		// afterwards); the adaptive region charges one epoch per compact
+		// line plus per-byte entries only for expanded lines.
 		ftDet := fasttrack.New(fasttrack.Config{})
-		clDet := core.New(core.Config{})
 		rf := runWorkload(wl, scale, workloads.Modified, runCfg{yieldEvery: ye,
 			detector: func() machine.Detector { return ftDet }})
 		rc := runWorkload(wl, scale, workloads.Modified, runCfg{yieldEvery: ye,
-			detector: func() machine.Detector { return clDet }})
+			detector: cleanDetector(core.Config{})})
 		if rf.err != nil || rc.err != nil {
 			return fmt.Errorf("ablation: %s: %v / %v", wl.Name, rf.err, rc.err)
 		}
 		ratio := 0.0
-		if cb := clDet.Epochs().MetadataBytes(); cb > 0 {
+		if cb := rc.footprint.MetadataBytes; cb > 0 {
 			ratio = float64(ftDet.MetadataBytes()) / float64(cb)
 		}
 		cl = append(cl, cN)

@@ -286,6 +286,17 @@ func (m *Machine) FinalCounters() []uint64 {
 	return out
 }
 
+// ReleaseMetadata returns the attached detector's shadow metadata to the
+// process-wide page pool, when the detector supports it. Call it exactly
+// once, after the machine's run (and any result extraction that reads the
+// shadow region) is complete; every service job path and the facade do,
+// so sustained serving recycles pages instead of allocating them.
+func (m *Machine) ReleaseMetadata() {
+	if rel, ok := m.cfg.Detector.(interface{ ReleaseMetadata() }); ok {
+		rel.ReleaseMetadata()
+	}
+}
+
 // AllocShared reserves n bytes of shared (instrumented) memory.
 func (m *Machine) AllocShared(n, align int) uint64 { return m.mem.Alloc(n, true, align) }
 

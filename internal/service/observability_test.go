@@ -356,3 +356,71 @@ func TestMetricsMergeStoreTelemetry(t *testing.T) {
 		}
 	}
 }
+
+// TestMetricsShadowFootprint: running jobs drives the shadow page pool,
+// and /metrics exposes the footprint gauges in both representations. The
+// job paths release their regions on completion, so after a burst of jobs
+// the live mapped-pages gauge is back to its pre-burst level and the pool
+// holds recycled pages.
+func TestMetricsShadowFootprint(t *testing.T) {
+	ctx := context.Background()
+	_, c := startTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionCLEAN, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.Run(ctx, sess.ID, apiv1.JobSpec{Litmus: "waw"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doc, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := doc.Metrics.Gauges
+	for _, key := range []string{
+		"shadow.mapped_pages", "shadow.metadata_bytes", "shadow.lines_compact",
+		"shadow.lines_expanded", "shadow.pool_pages", "shadow.pool_retained_bytes",
+		"shadow.pool_hits", "shadow.pool_misses", "shadow.pool_hit_rate",
+	} {
+		if _, ok := g[key]; !ok {
+			t.Errorf("gauge %s missing from /metrics", key)
+		}
+	}
+	// Jobs release on completion: live footprint is flat across the burst
+	// (no jobs are in flight at either scrape).
+	if g["shadow.mapped_pages"] != before.Metrics.Gauges["shadow.mapped_pages"] {
+		t.Errorf("shadow.mapped_pages = %g after burst, was %g — a job leaked its region",
+			g["shadow.mapped_pages"], before.Metrics.Gauges["shadow.mapped_pages"])
+	}
+	// The burst materialized pages somewhere: traffic counters moved and
+	// the free list is primed for the next job.
+	if g["shadow.pool_hits"]+g["shadow.pool_misses"] <= before.Metrics.Gauges["shadow.pool_hits"]+before.Metrics.Gauges["shadow.pool_misses"] {
+		t.Error("shadow pool saw no traffic from the job burst")
+	}
+	if g["shadow.pool_pages"] < 1 {
+		t.Errorf("shadow.pool_pages = %g, want >= 1 recycled page", g["shadow.pool_pages"])
+	}
+	if hr := g["shadow.pool_hit_rate"]; hr < 0 || hr > 1 {
+		t.Errorf("shadow.pool_hit_rate = %g, want within [0,1]", hr)
+	}
+
+	// And the gauges survive the Prometheus encoder.
+	text, err := c.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.CheckPrometheusText(text); err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	for _, want := range []string{"shadow_mapped_pages", "shadow_pool_hit_rate"} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("exposition lacks %s", want)
+		}
+	}
+}

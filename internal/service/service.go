@@ -44,6 +44,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/prog"
+	"repro/internal/shadow"
 	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/vclock"
@@ -772,6 +773,21 @@ func (s *Server) collectSnapshot() telemetry.Snapshot {
 	s.metrics.Gauge("process.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
 	s.metrics.Gauge("process.heap_sys_bytes").Set(float64(ms.HeapSys))
 	s.metrics.Gauge("process.gc_runs").Set(float64(ms.NumGC))
+	// Shadow-memory footprint: live pages/lines across in-flight jobs
+	// (job paths release on completion, so under steady load this tracks
+	// concurrent work, not cumulative traffic) plus the page free list.
+	// The pool hit rate is the recycling working: near 1.0 in steady
+	// state means ~zero shadow page allocation per job.
+	sh := shadow.Global()
+	s.metrics.Gauge("shadow.mapped_pages").Set(float64(sh.MappedPages))
+	s.metrics.Gauge("shadow.metadata_bytes").Set(float64(sh.MetadataBytes))
+	s.metrics.Gauge("shadow.lines_compact").Set(float64(sh.LinesCompact))
+	s.metrics.Gauge("shadow.lines_expanded").Set(float64(sh.LinesExpanded))
+	s.metrics.Gauge("shadow.pool_pages").Set(float64(sh.PoolPages))
+	s.metrics.Gauge("shadow.pool_retained_bytes").Set(float64(sh.PoolRetainedBytes))
+	s.metrics.Gauge("shadow.pool_hits").Set(float64(sh.PoolHits))
+	s.metrics.Gauge("shadow.pool_misses").Set(float64(sh.PoolMisses))
+	s.metrics.Gauge("shadow.pool_hit_rate").Set(sh.HitRate())
 	snap := s.metrics.Snapshot()
 	s.metricsMu.Unlock()
 
@@ -1114,6 +1130,10 @@ func (s *Server) runProgram(sess *session, p *prog.Program, seed int64, maxSteps
 		return errorResult(seed, err)
 	}
 	m := clean.NewMachine(cfg)
+	// Recycle the detector's shadow pages once the result is extracted
+	// (deferred so a contained worker panic cannot leak the footprint
+	// gauges): this keeps the soak's shadow.mapped_pages curve flat.
+	defer m.ReleaseMetadata()
 	root, base := p.Build(m)
 	start := time.Now()
 	runErr := m.Run(root)
@@ -1142,6 +1162,7 @@ func (s *Server) runScheduled(sess *session, p *prog.Program, schedule []int, ma
 		Layout:   layoutOf(sess.cfg),
 		MaxSteps: maxSteps,
 	})
+	defer m.ReleaseMetadata()
 	root, base := p.Build(m)
 	start := time.Now()
 	runErr := m.Run(root)

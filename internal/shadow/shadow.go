@@ -9,30 +9,56 @@
 // package reproduces both properties with a lazily populated page table:
 // untouched pages cost nothing, and Reset drops every page in O(pages).
 //
+// On top of the page table the region is adaptive-granularity, modelling
+// the compact/expanded epoch lines of the paper's Fig. 5: each 64-byte
+// line of a page holds a single compact epoch while all of its bytes
+// agree, and expands to a per-byte epoch array only on the first divergent
+// store (a dedup-style copy-out of the compact value). Range stores that
+// cover a whole line collapse it back to compact form, partial stores
+// re-compact opportunistically when they leave the line uniform, and Reset
+// recompacts everything by construction. The shape this buys:
+//
+//   - LoadAllEqual over a compact line is ONE epoch compare, the software
+//     analogue of the paper's line-level vector check (§4.4) — and the
+//     common case, since >99.7% of multi-byte accesses see uniform epochs.
+//   - Expanded lines are scanned word-at-a-time: the per-byte epochs are
+//     backed by a uint64 array (two packed epochs per word), so an 8-byte
+//     check is four word compares instead of eight 32-bit loads.
+//   - Pages are recycled through a process-wide free list (see pool.go),
+//     so steady-state serving re-materializes shadow for each job out of
+//     the pool instead of the garbage collector.
+//
 // The region is structured as a page-handle fast lane: every operation
-// resolves its page exactly once and then works on the page's epoch array
-// directly, multi-byte operations (LoadAllEqual, CompareAndSwapRange,
-// StoreRange) run as tight loops over that array, and a last-page cache —
-// the same trick ThreadSanitizer's direct-mapped shadow plays with its
-// application/shadow offset — makes the common same-page access skip the
-// page table entirely.
+// resolves its page exactly once and then works on the page's line table
+// directly, and a last-page cache — the same trick ThreadSanitizer's
+// direct-mapped shadow plays with its application/shadow offset — makes
+// the common same-page access skip the page table entirely.
 //
 // Two synchronization modes exist:
 //
 //   - New returns an unsynchronized region. The cooperative machine
 //     dispatches one thread at a time, so every detector check is already
 //     serialized and the region can use plain loads and stores — this is
-//     the §4.2 fast lane, and the mode every detector uses.
+//     the §4.2 fast lane, and the mode every detector uses. Only this
+//     mode uses compact lines and the page pool.
 //   - NewConcurrent returns a region whose single-epoch operations are
 //     atomic (sync/atomic on the backing words) and whose page table is
 //     lock-protected, so the compare-and-swap update of §4.3 keeps its
 //     meaning when the region is driven from truly concurrent goroutines,
-//     as the stress tests do.
+//     as the stress tests do. Concurrent pages materialize fully expanded
+//     (atomics need a stable per-byte cell) and are not pooled.
+//
+// Every multi-byte operation reports per-byte-equivalent epoch-load
+// counts: a compact line validated by one compare still counts as having
+// inspected each covered byte, so core.Stats.EpochLoads — and the golden
+// run reports pinned on it — are independent of the compact/expanded state
+// a line happens to be in.
 package shadow
 
 import (
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/vclock"
 )
@@ -41,12 +67,28 @@ import (
 const PageShift = 12
 
 // PageBytes is the number of data bytes covered by one shadow page. Each
-// page therefore backs PageBytes epochs (4×PageBytes metadata bytes),
-// mirroring the 1:4 data:metadata ratio of §4.2.
+// page backs up to PageBytes epochs (4×PageBytes metadata bytes when fully
+// expanded, mirroring the 1:4 data:metadata ratio of §4.2) but only
+// LinesPerPage compact epochs while its lines are uniform.
 const PageBytes = 1 << PageShift
 
 // pageMask extracts the intra-page offset of an address.
 const pageMask = PageBytes - 1
+
+// LineShift is log2(LineBytes); the line index of an intra-page offset is
+// one shift.
+const LineShift = 6
+
+// LineBytes is the number of data bytes covered by one epoch line — the
+// cache-line granularity of the paper's Fig. 5 compact entries.
+const LineBytes = 1 << LineShift
+
+// LinesPerPage is the number of epoch lines in one shadow page.
+const LinesPerPage = PageBytes / LineBytes
+
+// wordsPerLine is the number of packed uint64 words backing one expanded
+// line: two 32-bit epochs per word.
+const wordsPerLine = LineBytes / 2
 
 // Region is the epoch shadow for a simulated address space. The zero value
 // is not ready for use; call New or NewConcurrent.
@@ -63,14 +105,41 @@ type Region struct {
 	pages map[uint64]*page
 	mu    sync.RWMutex // guards pages in concurrent mode
 
+	// expandedLines counts lines currently in expanded (per-byte) form
+	// across all of the region's pages. Unsynchronized mode only; a
+	// concurrent region's pages are always fully expanded.
+	expandedLines int
+
 	// resets counts completed Reset calls, reported by the Table 1
 	// experiment as the number of rollover resets.
 	resets atomic.Uint64
 }
 
-type page struct {
-	epochs [PageBytes]uint32
+// pageEpochs is the expanded per-byte epoch store of one page. The backing
+// array is uint64 so the storage is 8-byte aligned by construction and
+// uniformity scans can compare two packed epochs per load; epochs() views
+// the same memory as the per-byte uint32 array.
+type pageEpochs struct {
+	words [PageBytes / 2]uint64
 }
+
+// epochs returns the per-byte uint32 view of the packed word array.
+func (pe *pageEpochs) epochs() *[PageBytes]uint32 {
+	return (*[PageBytes]uint32)(unsafe.Pointer(&pe.words))
+}
+
+// page is one shadow page in adaptive form: a compact epoch per line, a
+// bitmap of which lines have expanded to per-byte entries, and the lazily
+// allocated per-byte store. A recycled page keeps its bytes array attached
+// (see pool.go) so re-expansion after Reset allocates nothing.
+type page struct {
+	lineEpoch [LinesPerPage]uint32
+	expanded  uint64 // bit l set ⇒ line l is per-byte in bytes
+	bytes     *pageEpochs
+}
+
+// pattern doubles a 32-bit epoch into the packed-word compare pattern.
+func pattern(e uint32) uint64 { return uint64(e)<<32 | uint64(e) }
 
 // New returns an empty unsynchronized shadow region: the fast lane for
 // detectors driven from the cooperative machine, which serializes all
@@ -90,40 +159,75 @@ func NewConcurrent() *Region {
 func (r *Region) Load(addr uint64) vclock.Epoch {
 	if !r.concurrent {
 		if p := r.lastPage; p != nil && r.lastIdx == addr>>PageShift {
-			return vclock.Epoch(p.epochs[addr&pageMask])
+			off := addr & pageMask
+			line := off >> LineShift
+			if p.expanded&(1<<line) == 0 {
+				return vclock.Epoch(p.lineEpoch[line])
+			}
+			return vclock.Epoch(p.bytes.epochs()[off])
 		}
 	}
 	p := r.lookup(addr >> PageShift)
 	if p == nil {
 		return 0
 	}
+	off := addr & pageMask
 	if r.concurrent {
-		return vclock.Epoch(atomic.LoadUint32(&p.epochs[addr&pageMask]))
+		return vclock.Epoch(atomic.LoadUint32(&p.bytes.epochs()[off]))
 	}
-	return vclock.Epoch(p.epochs[addr&pageMask])
+	line := off >> LineShift
+	if p.expanded&(1<<line) == 0 {
+		return vclock.Epoch(p.lineEpoch[line])
+	}
+	return vclock.Epoch(p.bytes.epochs()[off])
 }
 
-// Store unconditionally sets the epoch of the data byte at addr.
+// Store unconditionally sets the epoch of the data byte at addr. On a
+// compact line a store of the line's own epoch is a no-op; a divergent
+// store expands the line (copying the compact epoch out to every byte)
+// first — the Fig. 5 expansion event.
 func (r *Region) Store(addr uint64, e vclock.Epoch) {
 	p := r.ensure(addr >> PageShift)
+	off := addr & pageMask
 	if r.concurrent {
-		atomic.StoreUint32(&p.epochs[addr&pageMask], uint32(e))
+		atomic.StoreUint32(&p.bytes.epochs()[off], uint32(e))
 		return
 	}
-	p.epochs[addr&pageMask] = uint32(e)
+	line := off >> LineShift
+	if p.expanded&(1<<line) == 0 {
+		if p.lineEpoch[line] == uint32(e) {
+			return
+		}
+		r.expandLine(p, uint(line))
+	}
+	p.bytes.epochs()[off] = uint32(e)
 }
 
 // CompareAndSwap replaces the epoch at addr with new if it still equals
 // old, reporting whether the swap happened. A failed swap on a write check
 // is exactly how a concurrent WAW race manifests in software CLEAN (§4.3).
 // In unsynchronized mode the machine's serialization of checks supplies
-// the atomicity; in concurrent mode it is a hardware CAS.
+// the atomicity; in concurrent mode it is a hardware CAS. A successful
+// swap on a compact line expands it only when the value actually changes.
 func (r *Region) CompareAndSwap(addr uint64, old, new vclock.Epoch) bool {
 	p := r.ensure(addr >> PageShift)
+	off := addr & pageMask
 	if r.concurrent {
-		return atomic.CompareAndSwapUint32(&p.epochs[addr&pageMask], uint32(old), uint32(new))
+		return atomic.CompareAndSwapUint32(&p.bytes.epochs()[off], uint32(old), uint32(new))
 	}
-	w := &p.epochs[addr&pageMask]
+	line := off >> LineShift
+	if p.expanded&(1<<line) == 0 {
+		if p.lineEpoch[line] != uint32(old) {
+			return false
+		}
+		if old == new {
+			return true // value unchanged: the line stays compact
+		}
+		r.expandLine(p, uint(line))
+		p.bytes.epochs()[off] = uint32(new)
+		return true
+	}
+	w := &p.bytes.epochs()[off]
 	if *w != uint32(old) {
 		return false
 	}
@@ -134,43 +238,135 @@ func (r *Region) CompareAndSwap(addr uint64, old, new vclock.Epoch) bool {
 // LoadAllEqual loads the epochs of the n data bytes starting at addr and
 // reports whether they all hold the same value, returning that value when
 // they do. This is the software analogue of the vector load + vector
-// compare of §4.4: in the common case a multi-byte access is validated by
-// inspecting a single epoch.
+// compare of §4.4: a multi-byte access on a compact line is validated by
+// ONE epoch compare, and expanded lines are scanned two epochs per uint64
+// word. Page-crossing ranges resolve each covered page once and scan tight
+// per-page segments; unmapped pages read as runs of zero epochs.
 //
-// loads is the number of epoch words actually inspected — n when the range
-// is uniform (or entirely unmapped, which reads as n zero epochs), fewer
-// when a mismatch stops the scan early. Detectors use it to keep their
-// epoch-load counters honest.
+// loads is the per-byte-equivalent number of epoch words inspected — n
+// when the range is uniform (or entirely unmapped), first-mismatch-index+1
+// when a mismatch stops the scan early — regardless of how few physical
+// compares the compact/packed representations needed. Detectors use it to
+// keep their epoch-load counters honest and deterministic.
 func (r *Region) LoadAllEqual(addr uint64, n int) (e vclock.Epoch, allEqual bool, loads int) {
 	if n <= 0 {
 		return 0, true, 0
 	}
-	off := addr & pageMask
-	if !r.concurrent && int(off)+n <= PageBytes {
-		// Fast lane: the whole access lies in one page — resolve it once
-		// and compare over the array.
-		p := r.lookup(addr >> PageShift)
-		if p == nil {
-			return 0, true, n
-		}
-		ep := p.epochs[off : int(off)+n]
-		e0 := ep[0]
-		for i := 1; i < len(ep); i++ {
-			if ep[i] != e0 {
-				return vclock.Epoch(e0), false, i + 1
+	if r.concurrent {
+		// Concurrent mode: per-byte atomic loads.
+		e = r.Load(addr)
+		for i := 1; i < n; i++ {
+			if r.Load(addr+uint64(i)) != e {
+				return e, false, i + 1
 			}
+		}
+		return e, true, n
+	}
+	idx := addr >> PageShift
+	off := int(addr & pageMask)
+	// Fast lane: the whole range inside one line of the cached page — the
+	// shape of nearly every detector check (≤8-byte access, hot page).
+	if p := r.lastPage; p != nil && r.lastIdx == idx && (off+n-1)>>LineShift == off>>LineShift {
+		line := off >> LineShift
+		if p.expanded&(1<<uint(line)) == 0 {
+			return vclock.Epoch(p.lineEpoch[line]), true, n
+		}
+		e0 := p.bytes.epochs()[off]
+		if mi := scanExpanded(p.bytes, off, n, e0); mi >= 0 {
+			return vclock.Epoch(e0), false, mi + 1
 		}
 		return vclock.Epoch(e0), true, n
 	}
-	// Page-crossing or concurrent access: per-byte loads (the last-page
-	// cache still makes the unsynchronized crossing case two resolutions).
-	e = r.Load(addr)
-	for i := 1; i < n; i++ {
-		if r.Load(addr+uint64(i)) != e {
-			return e, false, i + 1
+	p := r.lookup(idx)
+	var e0 uint32
+	if p != nil {
+		e0 = epochAt(p, off)
+	}
+	scanned := 0
+	for {
+		run := PageBytes - off
+		if run > n {
+			run = n
+		}
+		if p == nil {
+			// Unmapped page: a run of zero epochs.
+			if e0 != 0 {
+				return vclock.Epoch(e0), false, scanned + 1
+			}
+		} else if mi := scanPage(p, off, run, e0); mi >= 0 {
+			return vclock.Epoch(e0), false, scanned + mi + 1
+		}
+		scanned += run
+		n -= run
+		if n == 0 {
+			return vclock.Epoch(e0), true, scanned
+		}
+		idx++
+		off = 0
+		p = r.lookup(idx)
+	}
+}
+
+// epochAt reads one epoch out of an adaptive page (unsynchronized mode).
+func epochAt(p *page, off int) uint32 {
+	line := off >> LineShift
+	if p.expanded&(1<<line) == 0 {
+		return p.lineEpoch[line]
+	}
+	return p.bytes.epochs()[off]
+}
+
+// scanPage verifies that the n epochs at intra-page offset off all equal
+// want, returning the offset-relative index of the first mismatching byte
+// or -1 when the segment is uniform. Compact lines cost one compare for up
+// to 64 bytes; expanded lines are scanned word-at-a-time.
+func scanPage(p *page, off, n int, want uint32) int {
+	i := 0
+	for i < n {
+		line := (off + i) >> LineShift
+		run := (line+1)*LineBytes - (off + i) // bytes left in this line
+		if run > n-i {
+			run = n - i
+		}
+		if p.expanded&(1<<line) == 0 {
+			if p.lineEpoch[line] != want {
+				return i
+			}
+		} else if mi := scanExpanded(p.bytes, off+i, run, want); mi >= 0 {
+			return i + mi
+		}
+		i += run
+	}
+	return -1
+}
+
+// scanExpanded verifies n per-byte epochs starting at intra-page offset
+// off against want, two epochs per uint64 compare, returning the
+// offset-relative index of the first mismatch or -1. The word pattern
+// holds want in both halves, so the compare is endianness-agnostic; only
+// mismatch recovery consults the per-epoch view.
+func scanExpanded(pe *pageEpochs, off, n int, want uint32) int {
+	ep := pe.epochs()
+	i, end := off, off+n
+	if i&1 == 1 { // unaligned head: one epoch
+		if ep[i] != want {
+			return 0
+		}
+		i++
+	}
+	pat := pattern(want)
+	for ; i+2 <= end; i += 2 {
+		if pe.words[i>>1] != pat {
+			if ep[i] != want {
+				return i - off
+			}
+			return i + 1 - off
 		}
 	}
-	return e, true, n
+	if i < end && ep[i] != want {
+		return i - off
+	}
+	return -1
 }
 
 // CompareAndSwapRange performs the wide-CAS update of §4.4: the n epochs
@@ -179,7 +375,8 @@ func (r *Region) LoadAllEqual(addr uint64, n int) (e vclock.Epoch, allEqual bool
 // leading epoch is checked and the rest stored, which is atomic here
 // because the machine serializes race checks (callers needing true
 // concurrent atomicity per epoch use CompareAndSwap). It reports false — a
-// WAW race, §4.3 — when the leading epoch no longer holds old.
+// WAW race, §4.3 — when the leading epoch no longer holds old. Fully
+// covered lines collapse back to compact form as they are written.
 func (r *Region) CompareAndSwapRange(addr uint64, n int, old, new vclock.Epoch) bool {
 	if n <= 0 {
 		return true
@@ -191,19 +388,45 @@ func (r *Region) CompareAndSwapRange(addr uint64, n int, old, new vclock.Epoch) 
 		r.StoreRange(addr+1, n-1, new)
 		return true
 	}
-	off := addr & pageMask
 	p := r.ensure(addr >> PageShift)
-	if p.epochs[off] != uint32(old) {
+	off := int(addr & pageMask)
+	// Fast lane: the whole range inside one line. The leading-epoch check,
+	// the write, and the compact/expanded transitions all touch one line
+	// table entry, so the general per-page walk is skipped entirely.
+	if line := off >> LineShift; (off+n-1)>>LineShift == line {
+		if p.expanded&(1<<uint(line)) == 0 {
+			if p.lineEpoch[line] != uint32(old) {
+				return false
+			}
+			if old == new {
+				return true // value unchanged: the line stays compact
+			}
+			if n == LineBytes { // same-line ⇒ off is line-aligned
+				p.lineEpoch[line] = uint32(new)
+				return true
+			}
+			// After the copy-out the bytes outside the range still hold
+			// old ≠ new, so no recompaction attempt is needed.
+			r.expandLine(p, uint(line))
+			writeEpochs(p.bytes, off, n, uint32(new))
+			return true
+		}
+		ep := p.bytes.epochs()
+		if ep[off] != uint32(old) {
+			return false
+		}
+		writeEpochs(p.bytes, off, n, uint32(new))
+		r.maybeRecompact(p, uint(line), uint32(new))
+		return true
+	}
+	if epochAt(p, off) != uint32(old) {
 		return false
 	}
-	run := n
-	if int(off)+run > PageBytes {
-		run = PageBytes - int(off)
+	run := PageBytes - off
+	if run > n {
+		run = n
 	}
-	ep := p.epochs[off : int(off)+run]
-	for i := range ep {
-		ep[i] = uint32(new)
-	}
+	r.storeInPage(p, off, run, uint32(new))
 	if run < n {
 		r.StoreRange(addr+uint64(run), n-run, new)
 	}
@@ -211,43 +434,170 @@ func (r *Region) CompareAndSwapRange(addr uint64, n int, old, new vclock.Epoch) 
 }
 
 // StoreRange unconditionally sets the n epochs starting at addr, one page
-// resolution per covered page.
+// resolution per covered page. Lines fully covered by the range become
+// compact (this is how rollover-era sweeps and fresh allocations keep the
+// region in its cheap representation); partially covered lines expand if
+// they must diverge and re-compact opportunistically when the store leaves
+// them uniform.
 func (r *Region) StoreRange(addr uint64, n int, e vclock.Epoch) {
 	for n > 0 {
-		off := addr & pageMask
+		off := int(addr & pageMask)
 		p := r.ensure(addr >> PageShift)
-		run := PageBytes - int(off)
+		run := PageBytes - off
 		if run > n {
 			run = n
 		}
 		if r.concurrent {
+			ep := p.bytes.epochs()
 			for i := 0; i < run; i++ {
-				atomic.StoreUint32(&p.epochs[int(off)+i], uint32(e))
+				atomic.StoreUint32(&ep[off+i], uint32(e))
 			}
 		} else {
-			ep := p.epochs[off : int(off)+run]
-			for i := range ep {
-				ep[i] = uint32(e)
-			}
+			r.storeInPage(p, off, run, uint32(e))
 		}
 		addr += uint64(run)
 		n -= run
 	}
 }
 
+// storeInPage writes epoch e over [off, off+n) of page p, maintaining the
+// compact/expanded invariant line by line (unsynchronized mode).
+func (r *Region) storeInPage(p *page, off, n int, e uint32) {
+	i, end := off, off+n
+	for i < end {
+		line := i >> LineShift
+		lineStart := line * LineBytes
+		lineEnd := lineStart + LineBytes
+		if i == lineStart && end >= lineEnd {
+			// Full line covered: collapse to one compact epoch.
+			if p.expanded&(1<<line) != 0 {
+				r.collapseLine(p, uint(line))
+			}
+			p.lineEpoch[line] = e
+			i = lineEnd
+			continue
+		}
+		seg := lineEnd
+		if seg > end {
+			seg = end
+		}
+		if p.expanded&(1<<line) == 0 {
+			if p.lineEpoch[line] == e {
+				i = seg // partial store of the line's own epoch: no-op
+				continue
+			}
+			r.expandLine(p, uint(line))
+		}
+		writeEpochs(p.bytes, i, seg-i, e)
+		r.maybeRecompact(p, uint(line), e)
+		i = seg
+	}
+}
+
+// writeEpochs writes epoch e over [off, off+n) of the expanded store, two
+// packed epochs per word store on the aligned interior.
+func writeEpochs(pe *pageEpochs, off, n int, e uint32) {
+	ep := pe.epochs()
+	i, end := off, off+n
+	if i&1 == 1 { // unaligned head: one epoch
+		ep[i] = e
+		i++
+	}
+	pat := pattern(e)
+	for ; i+2 <= end; i += 2 {
+		pe.words[i>>1] = pat
+	}
+	if i < end {
+		ep[i] = e
+	}
+}
+
+// expandLine converts line l of page p from compact to per-byte form by
+// copying the compact epoch out to every byte slot — Fig. 5's expansion.
+// The per-byte store is allocated on the page's first expansion only;
+// pooled pages arrive with it already attached.
+func (r *Region) expandLine(p *page, l uint) {
+	if p.bytes == nil {
+		p.bytes = new(pageEpochs)
+	}
+	pat := pattern(p.lineEpoch[l])
+	w := p.bytes.words[l*wordsPerLine : (l+1)*wordsPerLine]
+	for i := range w {
+		w[i] = pat
+	}
+	p.expanded |= 1 << l
+	r.expandedLines++
+	gExpandedLines.Add(1)
+	gExpansions.Add(1)
+}
+
+// collapseLine clears line l's expanded bit; the caller sets lineEpoch.
+// The stale per-byte slots are left in place — they are rewritten by the
+// copy-out on the next expansion.
+func (r *Region) collapseLine(p *page, l uint) {
+	p.expanded &^= 1 << l
+	r.expandedLines--
+	gExpandedLines.Add(-1)
+	gCollapses.Add(1)
+}
+
+// maybeRecompact collapses an expanded line back to compact form when a
+// partial store has just left every byte equal to e: one early-exit pass
+// over the packed words, so the check costs at most 32 compares and
+// usually exits on the first.
+func (r *Region) maybeRecompact(p *page, l uint, e uint32) {
+	pat := pattern(e)
+	w := p.bytes.words[l*wordsPerLine : (l+1)*wordsPerLine]
+	// Boundary guard: a uniform line matches at both ends, so a partial
+	// store that left either boundary word divergent exits in ≤2 compares
+	// — the overwhelmingly common outcome on a genuinely mixed line.
+	if w[0] != pat || w[wordsPerLine-1] != pat {
+		return
+	}
+	for _, x := range w[1 : wordsPerLine-1] {
+		if x != pat {
+			return
+		}
+	}
+	r.collapseLine(p, l)
+	p.lineEpoch[l] = e
+}
+
 // Reset discards every epoch, returning the region to the all-zero state.
 // It models the remap-to-zero-page rollover reset of §4.5: cost is
-// proportional to the number of mapped pages, not to the data size.
+// proportional to the number of mapped pages, not to the data size, and —
+// like the remap — the pages themselves are recycled through the free
+// list, so the rollover epoch starts compact and allocation-free.
 func (r *Region) Reset() {
+	r.release()
+	r.resets.Add(1)
+}
+
+// Release returns the region's shadow pages to the process-wide pool
+// without counting a rollover reset. Call it exactly once when a run is
+// finished with its detector (the facade, harness, and service job paths
+// all do); using the region afterwards is safe — it simply re-materializes
+// pages — but releasing a region whose machine is still running is not.
+func (r *Region) Release() { r.release() }
+
+func (r *Region) release() {
 	if r.concurrent {
 		r.mu.Lock()
+		n := len(r.pages)
 		r.pages = make(map[uint64]*page)
 		r.mu.Unlock()
-	} else {
-		r.pages = make(map[uint64]*page)
-		r.lastPage = nil
+		gMappedPages.Add(-int64(n))
+		gExpandedLines.Add(-int64(n * LinesPerPage))
+		return
 	}
-	r.resets.Add(1)
+	r.lastPage = nil
+	gMappedPages.Add(-int64(len(r.pages)))
+	gExpandedLines.Add(-int64(r.expandedLines))
+	r.expandedLines = 0
+	for _, p := range r.pages {
+		putPage(p)
+	}
+	clear(r.pages) // keeps the map's buckets for the next epoch era
 }
 
 // Resets returns the number of Reset calls performed.
@@ -264,9 +614,52 @@ func (r *Region) MappedPages() int {
 	return len(r.pages)
 }
 
-// MetadataBytes returns the current metadata footprint in bytes
-// (4 bytes of epoch per covered data byte).
-func (r *Region) MetadataBytes() int { return r.MappedPages() * PageBytes * 4 }
+// Footprint describes a region's current metadata footprint in the
+// adaptive representation.
+type Footprint struct {
+	MappedPages   int // shadow pages backed by storage
+	LinesCompact  int // lines represented by one epoch
+	LinesExpanded int // lines in per-byte form
+	MetadataBytes int // logical metadata bytes, see MetadataBytes
+}
+
+// Footprint returns the region's current footprint. LinesCompact counts
+// every line of every mapped page that is not expanded, matching the
+// paper's view that a mapped-but-uniform line costs one entry.
+func (r *Region) Footprint() Footprint {
+	if r.concurrent {
+		r.mu.RLock()
+		pages := len(r.pages)
+		r.mu.RUnlock()
+		exp := pages * LinesPerPage
+		return Footprint{
+			MappedPages:   pages,
+			LinesExpanded: exp,
+			MetadataBytes: metadataBytes(pages, exp),
+		}
+	}
+	pages := len(r.pages)
+	return Footprint{
+		MappedPages:   pages,
+		LinesCompact:  pages*LinesPerPage - r.expandedLines,
+		LinesExpanded: r.expandedLines,
+		MetadataBytes: metadataBytes(pages, r.expandedLines),
+	}
+}
+
+// metadataBytes is the logical metadata footprint of the adaptive
+// representation: one 4-byte compact epoch per line of every mapped page,
+// plus 4 bytes per byte for each expanded line. It is a deterministic
+// function of the region's state — pool recycling and the lazily attached
+// per-byte arrays never change it — so experiment outputs that report it
+// are reproducible. (Physical bytes retained by the pool are reported
+// separately via Global.)
+func metadataBytes(pages, expandedLines int) int {
+	return pages*LinesPerPage*4 + expandedLines*LineBytes*4
+}
+
+// MetadataBytes returns the current logical metadata footprint in bytes.
+func (r *Region) MetadataBytes() int { return r.Footprint().MetadataBytes }
 
 // lookup resolves a page index to its page, or nil when unmapped. In
 // unsynchronized mode a hit refreshes the last-page cache.
@@ -288,6 +681,9 @@ func (r *Region) lookup(idx uint64) *page {
 }
 
 // ensure resolves a page index, materializing the page on first touch.
+// Unsynchronized pages come from the free list and start all-compact with
+// zero epochs; concurrent pages are always fully expanded (atomic
+// operations need stable per-byte cells) and bypass the pool.
 func (r *Region) ensure(idx uint64) *page {
 	if !r.concurrent {
 		if p := r.lastPage; p != nil && r.lastIdx == idx {
@@ -295,8 +691,9 @@ func (r *Region) ensure(idx uint64) *page {
 		}
 		p := r.pages[idx]
 		if p == nil {
-			p = new(page)
+			p = getPage()
 			r.pages[idx] = p
+			gMappedPages.Add(1)
 		}
 		r.lastIdx, r.lastPage = idx, p
 		return p
@@ -312,7 +709,9 @@ func (r *Region) ensure(idx uint64) *page {
 	if p := r.pages[idx]; p != nil {
 		return p
 	}
-	p = new(page)
+	p = &page{bytes: new(pageEpochs), expanded: ^uint64(0)}
 	r.pages[idx] = p
+	gMappedPages.Add(1)
+	gExpandedLines.Add(LinesPerPage)
 	return p
 }

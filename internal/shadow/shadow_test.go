@@ -213,8 +213,139 @@ func TestReset(t *testing.T) {
 func TestMetadataBytes(t *testing.T) {
 	r := New()
 	r.Store(0, 1)
-	if got, want := r.MetadataBytes(), PageBytes*4; got != want {
+	// One mapped page (a compact epoch per line) plus one expanded line
+	// (the divergent store of epoch 1 over the line's compact zero).
+	want := LinesPerPage*4 + LineBytes*4
+	if got := r.MetadataBytes(); got != want {
 		t.Fatalf("MetadataBytes = %d, want %d", got, want)
+	}
+	// Collapsing the line back (full-line store) drops the expanded share.
+	r.StoreRange(0, LineBytes, 1)
+	if got, want := r.MetadataBytes(), LinesPerPage*4; got != want {
+		t.Fatalf("after collapse: MetadataBytes = %d, want %d", got, want)
+	}
+}
+
+// The adaptive representation must expand exactly on divergence and
+// collapse exactly on full-line coverage / uniformity (Fig. 5).
+func TestAdaptiveExpandCollapse(t *testing.T) {
+	r := New()
+	e1, e2 := layout.Pack(1, 1), layout.Pack(2, 2)
+
+	// A full-line store keeps the line compact.
+	r.StoreRange(0, LineBytes, e1)
+	if f := r.Footprint(); f.LinesExpanded != 0 || f.LinesCompact != LinesPerPage {
+		t.Fatalf("after full-line store: %+v", f)
+	}
+	// Storing the line's own epoch stays compact.
+	r.Store(5, e1)
+	if f := r.Footprint(); f.LinesExpanded != 0 {
+		t.Fatalf("same-epoch store expanded the line: %+v", f)
+	}
+	// A divergent byte expands the line and preserves its neighbours.
+	r.Store(5, e2)
+	if f := r.Footprint(); f.LinesExpanded != 1 {
+		t.Fatalf("divergent store did not expand: %+v", f)
+	}
+	if r.Load(4) != e1 || r.Load(5) != e2 || r.Load(6) != e1 {
+		t.Fatalf("copy-out lost neighbours: %v %v %v", r.Load(4), r.Load(5), r.Load(6))
+	}
+	// A partial store that makes the line uniform re-compacts it.
+	r.Store(5, e1)
+	if f := r.Footprint(); f.LinesExpanded != 1 {
+		t.Fatalf("single-byte store should not recompact: %+v", f)
+	}
+	r.StoreRange(0, 8, e1) // partial range store leaves the line uniform
+	if f := r.Footprint(); f.LinesExpanded != 0 {
+		t.Fatalf("uniform partial store did not recompact: %+v", f)
+	}
+	if got, eq, loads := r.LoadAllEqual(0, LineBytes); !eq || got != e1 || loads != LineBytes {
+		t.Fatalf("recompacted line: LoadAllEqual = %v,%v,%d", got, eq, loads)
+	}
+}
+
+// Word-packed scanning of expanded lines must report the exact per-byte
+// mismatch index for every alignment, including odd offsets and mismatches
+// in either half of a packed word.
+func TestExpandedScanMismatchIndex(t *testing.T) {
+	e1, e2 := layout.Pack(1, 1), layout.Pack(2, 2)
+	for mismatch := 0; mismatch < 24; mismatch++ {
+		for start := 0; start <= mismatch; start++ {
+			r := New()
+			r.StoreRange(0, 64, e1)
+			r.Store(uint64(mismatch), e2) // expands the line
+			n := 24 - start
+			_, eq, loads := r.LoadAllEqual(uint64(start), n)
+			wantEq, wantLoads := true, n
+			switch {
+			case mismatch == start && n > 1:
+				// e0 is the divergent epoch itself; the mismatch is the
+				// first byte after it.
+				wantEq, wantLoads = false, 2
+			case mismatch > start && mismatch-start < n:
+				wantEq, wantLoads = false, mismatch-start+1
+			}
+			if eq != wantEq || loads != wantLoads {
+				t.Fatalf("start=%d mismatch=%d n=%d: eq=%v loads=%d, want %v,%d",
+					start, mismatch, n, eq, loads, wantEq, wantLoads)
+			}
+		}
+	}
+}
+
+// Released pages recycle through the free list: a second region (or a
+// reset region) re-materializes without growing the pool miss counter.
+func TestPagePoolRecycles(t *testing.T) {
+	r := New()
+	e := layout.Pack(1, 1)
+	r.StoreRange(0, PageBytes*2, e)
+	r.Store(3, layout.Pack(2, 2)) // force one expansion so bytes are attached
+	before := Global()
+	r.Release()
+	after := Global()
+	if after.PoolPuts < before.PoolPuts+2 && after.PoolDrops == before.PoolDrops {
+		t.Fatalf("release parked no pages: before=%+v after=%+v", before, after)
+	}
+	// Re-materialize: should be served by the list (hits grow, misses flat)
+	// unless the pool was already full and the pages were dropped.
+	if after.PoolPages > 0 {
+		misses := after.PoolMisses
+		r2 := New()
+		r2.StoreRange(0, PageBytes, e)
+		if g := Global(); g.PoolMisses != misses {
+			t.Fatalf("re-materialization missed the pool: %+v", g)
+		}
+		// A recycled page must read as zero epochs.
+		if got := r2.Load(PageBytes - 1); got != e {
+			t.Fatalf("recycled page lost the new store: %v", got)
+		}
+		r2.Release()
+	}
+	// Reset also recycles and the region stays usable.
+	r.StoreRange(0, 64, e)
+	r.Reset()
+	if r.Load(0) != 0 || r.MappedPages() != 0 {
+		t.Fatal("reset region not clean")
+	}
+}
+
+// Release must drive the region's share of the global live gauges back to
+// where it started, so long-lived service processes report flat curves.
+func TestGlobalGaugesReturnToBaseline(t *testing.T) {
+	for mode, mk := range regions() {
+		before := Global()
+		r := mk()
+		r.StoreRange(0, PageBytes*3, layout.Pack(1, 1))
+		r.Store(1, layout.Pack(2, 2))
+		mid := Global()
+		if mid.MappedPages < before.MappedPages+3 {
+			t.Fatalf("%s: mapped pages gauge did not grow: %+v -> %+v", mode, before, mid)
+		}
+		r.Release()
+		after := Global()
+		if after.MappedPages != before.MappedPages || after.LinesExpanded != before.LinesExpanded {
+			t.Fatalf("%s: gauges did not return to baseline: before=%+v after=%+v", mode, before, after)
+		}
 	}
 }
 
@@ -284,7 +415,8 @@ func TestModesAgreeProperty(t *testing.T) {
 }
 
 // The access path must be allocation-free once a page is mapped: this is
-// the zero-allocation guarantee the detector hot path builds on.
+// the zero-allocation guarantee the detector hot path builds on. The
+// compact-line paths are covered here (StoreRange(0,64) collapses line 0).
 func TestHotPathZeroAllocs(t *testing.T) {
 	for mode, mk := range regions() {
 		r := mk()
@@ -303,6 +435,45 @@ func TestHotPathZeroAllocs(t *testing.T) {
 				t.Errorf("%s: %s allocates %.1f per op, want 0", mode, name, allocs)
 			}
 		}
+	}
+}
+
+// Expanded-line traffic — divergent stores, word scans over per-byte
+// epochs, expansion and recompaction cycles — must also be allocation-free
+// once the page's per-byte store exists.
+func TestExpandedPathZeroAllocs(t *testing.T) {
+	r := New()
+	e1, e2 := layout.Pack(1, 1), layout.Pack(2, 2)
+	r.StoreRange(0, 64, e1)
+	r.Store(3, e2) // attach the per-byte store
+	checks := map[string]func(){
+		"LoadExpanded":        func() { _ = r.Load(3) },
+		"StoreExpanded":       func() { r.Store(3, e2) },
+		"ScanExpanded":        func() { _, _, _ = r.LoadAllEqual(0, 8) },
+		"ExpandCollapseCycle": func() { r.Store(70, e2); r.StoreRange(64, 64, e1) },
+	}
+	for name, fn := range checks {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", name, allocs)
+		}
+	}
+}
+
+// Reset with pool recycling must be allocation-free in the steady state:
+// pages park on the free list and the next era re-materializes from it
+// (including the re-expansion, since recycled pages keep their per-byte
+// arrays attached).
+func TestResetRecycleZeroAllocs(t *testing.T) {
+	r := New()
+	e1, e2 := layout.Pack(1, 1), layout.Pack(2, 2)
+	cycle := func() {
+		r.StoreRange(0, PageBytes, e1)
+		r.Store(5, e2) // divergence → expansion
+		r.Reset()
+	}
+	cycle() // warm-up: attach byte arrays, populate the pool
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Errorf("reset/recycle cycle allocates %.1f per op, want 0", allocs)
 	}
 }
 
@@ -443,6 +614,60 @@ func BenchmarkStoreRange8(b *testing.B) {
 				r.StoreRange(512, 8, e)
 			}
 		})
+	}
+}
+
+// BenchmarkLoadAllEqual8Compact measures the 8-byte check when the line is
+// compact: one epoch compare validates the whole access.
+func BenchmarkLoadAllEqual8Compact(b *testing.B) {
+	r := New()
+	r.StoreRange(64, 64, layout.Pack(1, 1)) // full line → compact
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = r.LoadAllEqual(100, 8)
+	}
+}
+
+// BenchmarkLoadAllEqual64Line measures a whole-line check on a compact
+// line — the paper's line-level vector compare in one comparison.
+func BenchmarkLoadAllEqual64Line(b *testing.B) {
+	r := New()
+	r.StoreRange(64, 64, layout.Pack(1, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = r.LoadAllEqual(64, 64)
+	}
+}
+
+// BenchmarkStoreRange64Collapse measures a full-line store, which writes
+// one compact epoch instead of 64.
+func BenchmarkStoreRange64Collapse(b *testing.B) {
+	r := New()
+	e1, e2 := layout.Pack(1, 1), layout.Pack(1, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&1 == 0 {
+			r.StoreRange(128, 64, e1)
+		} else {
+			r.StoreRange(128, 64, e2)
+		}
+	}
+}
+
+// BenchmarkResetRecycle measures a touch-then-reset cycle over four pages:
+// the steady state is four pool round-trips and header scrubs, no
+// allocation.
+func BenchmarkResetRecycle(b *testing.B) {
+	r := New()
+	e := layout.Pack(1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.StoreRange(0, PageBytes*4, e)
+		r.Reset()
 	}
 }
 
