@@ -31,22 +31,30 @@ const SchemaVersion = 1
 // Document kinds: a second self-description guard alongside the schema
 // version, stored in each document's Kind field.
 const (
-	KindRunReport = "clean.run-report"
-	KindSession   = "clean.v1.session"
-	KindJob       = "clean.v1.job"
-	KindHealth    = "clean.v1.health"
-	KindMetrics   = "clean.v1.metrics"
-	KindError     = "clean.v1.error"
-	KindChaos     = "clean.v1.chaos"
+	KindRunReport     = "clean.run-report"
+	KindSession       = "clean.v1.session"
+	KindJob           = "clean.v1.job"
+	KindHealth        = "clean.v1.health"
+	KindMetrics       = "clean.v1.metrics"
+	KindError         = "clean.v1.error"
+	KindChaos         = "clean.v1.chaos"
+	KindPredictedRace = "clean.v1.predicted-race"
 )
 
-// Detector names accepted in SessionConfig.Detection.
+// Detector names accepted in SessionConfig.Detection and
+// JobSpec.Detection.
 const (
 	DetectionNone      = "none"
 	DetectionCLEAN     = "clean"
 	DetectionFastTrack = "fasttrack"
 	DetectionTSanLite  = "tsanlite"
+	DetectionPredict   = "predict"
 )
+
+// detectionNames lists every accepted detector name for validation.
+var detectionNames = []string{
+	DetectionNone, DetectionCLEAN, DetectionFastTrack, DetectionTSanLite, DetectionPredict,
+}
 
 // Run outcome vocabulary, shared with the local RunReport.
 const (
@@ -116,6 +124,12 @@ type RunReport struct {
 	// for runs that did not complete. Hex instead of a JSON number: the
 	// value is a full 64-bit hash and float64 readers would corrupt it.
 	OutputHash string `json:"output_hash,omitempty"`
+	// Witness, when present, locates the race this run or analysis
+	// established, in the unified witness shape every engine serializes
+	// (cleanrun -report, cleanvet -json, Job documents). For static
+	// analyses Addr is region-relative and TID/PrevTID are worker
+	// indices; dynamic runs use machine addresses and thread ids.
+	Witness *RaceWitness `json:"witness,omitempty"`
 	// Metrics is the registry snapshot.
 	Metrics MetricsSnapshot `json:"metrics"`
 }
@@ -123,6 +137,27 @@ type RunReport struct {
 // NewRunReport returns a report pre-stamped with the current schema.
 func NewRunReport() *RunReport {
 	return &RunReport{Schema: SchemaVersion, Kind: KindRunReport}
+}
+
+// ScheduleStep is one run of a witness schedule: dispatch Ops
+// consecutive operations of worker Thread. Thread is the worker index in
+// program order (the same numbering JobSpec.Schedule and the static
+// analyzer's pair reports use); the root thread's spawn/join bookkeeping
+// is implicit — a replayer dispatches the root whenever the next step's
+// worker does not exist yet or is blocked.
+type ScheduleStep struct {
+	Thread int `json:"thread"`
+	Ops    int `json:"ops"`
+}
+
+// WitnessSchedule is the unified schedule shape every engine serializes
+// its witnesses in: a run-length-encoded worker dispatch sequence. The
+// static analyzer emits the sequential composition that realizes a
+// MustRace pair; explore emits the dispatch prefix of the first run that
+// raised an exception; predict emits the sync-preserving reordering its
+// certification replayed.
+type WitnessSchedule struct {
+	Steps []ScheduleStep `json:"steps"`
 }
 
 // RaceWitness locates a detected race precisely enough to replay it: the
@@ -144,6 +179,66 @@ type RaceWitness struct {
 	PrevClock uint32 `json:"prev_clock"`
 	// Detector names the detector that raised the exception.
 	Detector string `json:"detector"`
+	// Schedule, when present, is the dispatch sequence that realizes the
+	// race — attached by scheduled replays, explore bridges and predict
+	// certifications; absent for seeded runs whose interleaving is only
+	// identified by the seed.
+	Schedule *WitnessSchedule `json:"schedule,omitempty"`
+}
+
+// PredictedAccess is one side of a predicted race's candidate pair,
+// located in the recorded trace.
+type PredictedAccess struct {
+	// Thread is the worker index in program order (-1 for the root
+	// thread, which only workload targets can access shared memory
+	// from).
+	Thread int `json:"thread"`
+	// Index is the access's position in the worker's recorded event
+	// order.
+	Index int `json:"index"`
+	// Addr and Size locate the access in the shared region.
+	Addr uint64 `json:"addr"`
+	Size int    `json:"size"`
+	// Write distinguishes writes from reads.
+	Write bool `json:"write"`
+	// Source is the access's source position ("file:line:col") when the
+	// program came through the Go front end's source map.
+	Source string `json:"source,omitempty"`
+}
+
+// PredictedRace is a race the predictive engine found in a
+// sync-preserving reordering of a recorded trace: the candidate pair,
+// the reordering witness, and the certification outcome. A certified
+// prediction's schedule was actually executed — twice, byte-identically —
+// into the detector exception described by Witness.
+type PredictedRace struct {
+	Schema int    `json:"schema"`
+	Kind   string `json:"kind"`
+	// Race is the realized race kind, "WAW" or "RAW" (the witness orders
+	// a mixed pair write-first, so WAR pairs certify as RAW).
+	Race string `json:"race"`
+	// First and Second are the candidate pair in witness order; Second
+	// completes the race.
+	First  PredictedAccess `json:"first"`
+	Second PredictedAccess `json:"second"`
+	// Schedule is the reordering witness that realizes the race.
+	Schedule *WitnessSchedule `json:"schedule,omitempty"`
+	// Certified reports that the schedule re-executed to the predicted
+	// detector exception with byte-identical outcomes across two
+	// replays.
+	Certified bool `json:"certified"`
+	// Witness is the exception the certification replay raised.
+	Witness *RaceWitness `json:"witness,omitempty"`
+	// DeterminismHash digests the certification replay's race identity,
+	// final counters and shared-region hash in hex ("0x…"); both replays
+	// agreed on it.
+	DeterminismHash string `json:"determinism_hash,omitempty"`
+}
+
+// NewPredictedRace returns a prediction pre-stamped with the current
+// schema.
+func NewPredictedRace() *PredictedRace {
+	return &PredictedRace{Schema: SchemaVersion, Kind: KindPredictedRace}
 }
 
 // SessionConfig is the detection configuration a session is created with;
@@ -229,6 +324,11 @@ type JobSpec struct {
 	// Seeds fans the job out over one run per seed on the server's worker
 	// pool; empty means one run under the session seed.
 	Seeds []int64 `json:"seeds,omitempty"`
+	// Detection overrides the session's detector for this job; empty
+	// inherits the session's. Accepts the same names as
+	// SessionConfig.Detection, including "predict" for the predictive
+	// engine (program/litmus/gosource jobs only).
+	Detection string `json:"detection,omitempty"`
 	// MaxSteps overrides the session's per-run scheduler budget for this
 	// job (0 = session/server default). Every run stays deterministically
 	// bounded even when the wall-clock deadline never fires.
@@ -272,6 +372,9 @@ type RunResult struct {
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	// Report is the full telemetry report (sessions with Metrics only).
 	Report *RunReport `json:"report,omitempty"`
+	// Predicted holds the certified predictions of a predict-mode run,
+	// one per distinct realized race.
+	Predicted []PredictedRace `json:"predicted,omitempty"`
 }
 
 // JobSpan is one phase of a job's lifecycle: the span named "queued"
@@ -455,6 +558,19 @@ func DecodeRunReport(data []byte) (*RunReport, error) {
 	return &r, nil
 }
 
+// DecodePredictedRace parses and validates an encoded predicted-race
+// document.
+func DecodePredictedRace(data []byte) (*PredictedRace, error) {
+	var p PredictedRace
+	if err := DecodeStrict(data, &p); err != nil {
+		return nil, fmt.Errorf("api/v1: decoding predicted race: %w", err)
+	}
+	if err := CheckHeader(p.Schema, p.Kind, KindPredictedRace); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
 // Validate checks that exactly one job source is set and the spec is
 // internally consistent; servers and clients share this check.
 func (s *JobSpec) Validate() error {
@@ -485,6 +601,24 @@ func (s *JobSpec) Validate() error {
 	}
 	if len(s.Schedule) > 0 && len(s.Seeds) > 0 {
 		return fmt.Errorf("api/v1: a scheduled replay is seed-independent; schedule and seeds are exclusive")
+	}
+	if s.Detection != "" {
+		known := false
+		for _, n := range detectionNames {
+			if s.Detection == n {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("api/v1: unknown detection %q (want one of %v)", s.Detection, detectionNames)
+		}
+		if s.Detection == DetectionPredict && s.Workload != nil {
+			return fmt.Errorf("api/v1: predict applies only to program/litmus/gosource jobs")
+		}
+		if s.Detection == DetectionPredict && len(s.Schedule) > 0 {
+			return fmt.Errorf("api/v1: predict records under the seeded scheduler; schedule and predict are exclusive")
+		}
 	}
 	if s.DeadlineSeconds < 0 {
 		return fmt.Errorf("api/v1: negative deadline_seconds %v", s.DeadlineSeconds)

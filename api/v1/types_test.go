@@ -109,3 +109,62 @@ func TestChaosRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPredictedRaceRoundTrip pins the predicted-race document: schema
+// stamp, strict decode, and the nested witness schedule.
+func TestPredictedRaceRoundTrip(t *testing.T) {
+	p := NewPredictedRace()
+	p.Race = "WAW"
+	p.First = PredictedAccess{Thread: 0, Index: 2, Addr: 8, Size: 8, Write: true}
+	p.Second = PredictedAccess{Thread: 1, Index: 0, Addr: 8, Size: 8, Write: true, Source: "x.go:4:2"}
+	p.Schedule = &WitnessSchedule{Steps: []ScheduleStep{{Thread: 0, Ops: 3}, {Thread: 1, Ops: 1}}}
+	p.Certified = true
+	p.Witness = &RaceWitness{Kind: "WAW", Addr: 8, Size: 8, TID: 2, PrevTID: 1, Detector: "clean", Schedule: p.Schedule}
+	p.DeterminismHash = "0x00000000deadbeef"
+	data, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePredictedRace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Race != "WAW" || !back.Certified || back.Second.Source != "x.go:4:2" ||
+		len(back.Schedule.Steps) != 2 || back.Schedule.Steps[1].Ops != 1 ||
+		back.Witness == nil || back.Witness.Schedule == nil {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	// Header and unknown-field strictness.
+	if _, err := DecodePredictedRace([]byte(`{"schema":1,"kind":"clean.run-report","race":"WAW","first":{"thread":0,"index":0,"addr":0,"size":1,"write":true},"second":{"thread":1,"index":0,"addr":0,"size":1,"write":true},"certified":true}`)); err == nil {
+		t.Error("wrong kind accepted")
+	}
+	if _, err := DecodePredictedRace([]byte(`{"schema":1,"kind":"clean.v1.predicted-race","race":"WAW","first":{"thread":0,"index":0,"addr":0,"size":1,"write":true},"second":{"thread":1,"index":0,"addr":0,"size":1,"write":true},"certified":true,"surprise":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+// TestJobSpecDetectionValidate covers the per-job detection override:
+// known modes pass, unknown ones fail, and predict composes only with
+// program-backed, unscheduled jobs.
+func TestJobSpecDetectionValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+		ok   bool
+	}{
+		{"predict litmus", JobSpec{Litmus: "waw", Detection: DetectionPredict}, true},
+		{"predict gosource", JobSpec{GoSource: "package main\nfunc main() {}\n", Detection: DetectionPredict}, true},
+		{"predict seeds", JobSpec{Litmus: "waw", Seeds: []int64{1, 2}, Detection: DetectionPredict}, true},
+		{"clean override", JobSpec{Litmus: "waw", Detection: DetectionCLEAN}, true},
+		{"none override", JobSpec{Litmus: "waw", Detection: DetectionNone}, true},
+		{"unknown detection", JobSpec{Litmus: "waw", Detection: "quantum"}, false},
+		{"predict workload", JobSpec{Workload: &WorkloadSpec{Name: "fft"}, Detection: DetectionPredict}, false},
+		{"predict schedule", JobSpec{Litmus: "waw", Schedule: []int{0, 1}, Detection: DetectionPredict}, false},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}

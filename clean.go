@@ -149,7 +149,31 @@ const (
 	// DetectTSanLite is the imprecise K-shadow-cell baseline; it can
 	// miss races.
 	DetectTSanLite
+	// DetectPredict is the sync-preserving predictive mode
+	// (internal/predict): record one trace, then report the races other
+	// correct reorderings would exhibit, each certified by replaying its
+	// witness schedule through the CLEAN detector. As a machine-attached
+	// detector it behaves like DetectCLEAN (certification replays run
+	// CLEAN); the prediction pipeline itself drives recording and replay
+	// through the entry points that accept it (cleanvet -dynamic,
+	// cleanrun -detect predict, predict service jobs, internal/predict).
+	DetectPredict
+
+	// numDetections is the sentinel one past the last valid mode. Every
+	// new Detection constant must be inserted before it; Validate,
+	// ParseDetection and the ParseDetection error text all derive from
+	// it, so the mode list and the error message cannot drift apart.
+	numDetections
 )
+
+// Detections enumerates the valid detection modes in declaration order.
+func Detections() []Detection {
+	out := make([]Detection, 0, int(numDetections))
+	for d := DetectNone; d < numDetections; d++ {
+		out = append(out, d)
+	}
+	return out
+}
 
 // Config configures a Machine built by NewMachine.
 type Config struct {
@@ -219,6 +243,12 @@ func (c Config) detector() machine.Detector {
 		return fasttrack.New(fasttrack.Config{Layout: c.layout()})
 	case DetectTSanLite:
 		return tsanlite.New(tsanlite.Config{Layout: c.layout()})
+	case DetectPredict:
+		// Predictions certify against CLEAN semantics; a machine built
+		// directly in predict mode carries the CLEAN detector so witness
+		// replays and ad-hoc runs raise the same exceptions the
+		// prediction pipeline certifies with.
+		return core.New(core.Config{Layout: c.layout(), DisableMultibyte: c.DisableMultibyteOpt})
 	default:
 		return nil
 	}
@@ -379,6 +409,8 @@ func (d Detection) String() string {
 		return "fasttrack"
 	case DetectTSanLite:
 		return "tsanlite"
+	case DetectPredict:
+		return "predict"
 	}
 	return "none"
 }

@@ -27,7 +27,9 @@ import (
 	apiv1 "repro/api/v1"
 	"repro/internal/faults"
 	"repro/internal/harness"
+	"repro/internal/predict"
 	"repro/internal/service"
+	"repro/internal/workloads"
 )
 
 func main() {
@@ -37,7 +39,7 @@ func main() {
 		name     = flag.String("w", "fft", "workload name (see -list)")
 		scale    = flag.String("scale", "simsmall", "input scale: test, simsmall, simlarge, native")
 		variant  = flag.String("variant", "modified", "benchmark variant: modified (race-free) or unmodified")
-		det      = flag.String("det", "clean", "detector: none, clean, fasttrack, tsanlite")
+		det      = flag.String("det", "clean", "detector: none, clean, fasttrack, tsanlite or predict")
 		detsync  = flag.Bool("detsync", false, "enable Kendo deterministic synchronization")
 		seed     = flag.Int64("seed", 0, "scheduler seed")
 		list     = flag.Bool("list", false, "list workloads and exit")
@@ -48,6 +50,7 @@ func main() {
 		report   = flag.String("report", "", "write the run's schema-versioned RunReport JSON to this file (- for stdout)")
 		remote   = flag.String("remote", "", "run on a cleand server at this base URL instead of in-process")
 	)
+	flag.StringVar(det, "detect", "clean", "alias for -det")
 	flag.Parse()
 
 	if *list {
@@ -68,6 +71,14 @@ func main() {
 			log.Fatal("-remote supports plain runs only (no -faults, -diagnose, -timeline)")
 		}
 		runRemote(*remote, *det, *detsync, *seed, *maxSteps, *name, *scale, *variant, *report)
+		return
+	}
+
+	if detection == clean.DetectPredict {
+		if *faultStr != "" || *diagnose || *timeline != "" || *report != "" {
+			log.Fatal("-det predict supports plain runs only (no -faults, -diagnose, -timeline, -report)")
+		}
+		runPredict(*name, *scale, *variant, *seed, *maxSteps)
 		return
 	}
 
@@ -277,4 +288,45 @@ func writeReport(path string, rep *clean.RunReport) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// runPredict executes the workload once under the seeded recorder, then
+// predicts races in the recorded run's sync-preserving reorderings and
+// certifies each by replaying its witness schedule against the CLEAN
+// detector (internal/predict). Exit 2 when any prediction certifies.
+func runPredict(name, scale, variant string, seed int64, maxSteps uint64) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		log.Fatalf("unknown workload %q (see -list)", name)
+	}
+	sc, err := workloads.ParseScale(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := workloads.Unmodified
+	if variant == "modified" {
+		v = workloads.Modified
+	}
+	res := predict.Run(predict.WorkloadTarget(w, sc, v), predict.Options{Seed: seed, MaxSteps: maxSteps})
+
+	fmt.Printf("workload:   %s (%s, %s)\n", name, scale, variant)
+	fmt.Printf("detector:   predict   seed: %d\n", seed)
+	if res.Recording.Err != nil {
+		fmt.Printf("recording:  ended with %v\n", res.Recording.Err)
+	}
+	fmt.Printf("recording:  %d events in %d steps; %d candidate pairs, %d feasible, %d uncertified (%d replay steps)\n",
+		res.Recording.Events, res.RecordSteps, res.Candidates, res.Feasible, res.Uncertified, res.ReplaySteps)
+	if len(res.Predictions) == 0 {
+		fmt.Printf("no races predicted from the recorded run\n")
+		return
+	}
+	fmt.Printf("\nPREDICTED RACES (%d, each certified by witness replay):\n", len(res.Predictions))
+	for _, p := range res.Predictions {
+		v1 := p.V1(nil)
+		fmt.Printf("  %s at %#x (%d bytes): t%d[%d] vs t%d[%d]  schedule %d steps  hash %s\n",
+			v1.Race, p.Race.Addr, p.Race.Size,
+			v1.First.Thread, v1.First.Index, v1.Second.Thread, v1.Second.Index,
+			len(v1.Schedule.Steps), v1.DeterminismHash)
+	}
+	os.Exit(2)
 }

@@ -13,10 +13,17 @@
 //	cleanvet -gen -seed 7 -threads 3 -ops 8    # vet a generated program
 //	cleanvet -f prog.txt                       # vet a program file (- = stdin)
 //	cleanvet -go racy.go                       # vet real Go source (gofront)
+//	cleanvet -litmus waw -dynamic              # predictive: record one run, reorder, certify
 //	cleanvet -list                             # show the litmus registry
 //
+// With -dynamic the static analyzer is replaced by the predictive
+// pipeline (internal/predict): one recorded execution, a sync-preserving
+// reordering search, and certification-by-replay. Every reported race
+// carries a witness schedule that re-executed to a detector hit.
+//
 // Exit status: 0 RaceFree, 2 MustRace, 3 MayRace, 1 on errors (including
-// a -confirm run contradicting the static verdict).
+// a -confirm run contradicting the static verdict). With -dynamic:
+// 0 no prediction, 2 certified predicted race(s).
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"repro/internal/gofront"
 	"repro/internal/machine"
 	"repro/internal/oracle"
+	"repro/internal/predict"
 	"repro/internal/prog"
 	"repro/internal/progen"
 	"repro/internal/staticrace"
@@ -40,20 +48,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cleanvet: ")
 	var (
-		litmus  = flag.String("litmus", "", "analyze a named litmus program (see -list)")
-		file    = flag.String("f", "", "analyze a program file in the prog text format (- for stdin)")
-		goFile  = flag.String("go", "", "analyze a Go source file, lowered through the gofront front end")
-		gen     = flag.Bool("gen", false, "analyze a generated program (progen)")
-		seed    = flag.Int64("seed", 0, "generator seed (with -gen)")
-		threads = flag.Int("threads", 3, "generator worker threads (with -gen)")
-		ops     = flag.Int("ops", 12, "generator ops per thread (with -gen)")
-		region  = flag.Int("region", 8, "generator shared-region bytes (with -gen)")
-		locks   = flag.Int("locks", 2, "generator lock count (with -gen)")
-		confirm = flag.Bool("confirm", false, "confirm the verdict dynamically (bounded exploration / witness replay)")
-		maxruns = flag.Int("maxruns", 200000, "interleaving budget for -confirm exploration")
-		show    = flag.Bool("print", false, "print the program source before the report")
-		list    = flag.Bool("list", false, "list litmus programs and exit")
-		jsonOut = flag.String("json", "", "write the analysis as RunReport JSON to this file (- for stdout)")
+		litmus   = flag.String("litmus", "", "analyze a named litmus program (see -list)")
+		file     = flag.String("f", "", "analyze a program file in the prog text format (- for stdin)")
+		goFile   = flag.String("go", "", "analyze a Go source file, lowered through the gofront front end")
+		gen      = flag.Bool("gen", false, "analyze a generated program (progen)")
+		seed     = flag.Int64("seed", 0, "generator seed (with -gen) and recording seed (with -dynamic)")
+		threads  = flag.Int("threads", 3, "generator worker threads (with -gen)")
+		ops      = flag.Int("ops", 12, "generator ops per thread (with -gen)")
+		region   = flag.Int("region", 8, "generator shared-region bytes (with -gen)")
+		locks    = flag.Int("locks", 2, "generator lock count (with -gen)")
+		confirm  = flag.Bool("confirm", false, "confirm the verdict dynamically (bounded exploration / witness replay)")
+		maxruns  = flag.Int("maxruns", 200000, "interleaving budget for -confirm exploration")
+		dynamic  = flag.Bool("dynamic", false, "predict races from one recorded run (internal/predict) instead of static analysis")
+		maxsteps = flag.Uint64("maxsteps", 0, "scheduler-step budget for the -dynamic recording (0 = predict default)")
+		show     = flag.Bool("print", false, "print the program source before the report")
+		list     = flag.Bool("list", false, "list litmus programs and exit")
+		jsonOut  = flag.String("json", "", "write the analysis as RunReport JSON to this file (- for stdout)")
 	)
 	flag.Parse()
 
@@ -65,7 +75,7 @@ func main() {
 		return
 	}
 
-	p, desc := loadProgram(*litmus, *file, *goFile, *gen, progen.Config{
+	p, desc, gp := loadProgram(*litmus, *file, *goFile, *gen, progen.Config{
 		Seed: *seed, Threads: *threads, OpsPerThread: *ops, Region: *region, Locks: *locks,
 	})
 	if err := p.Validate(); err != nil {
@@ -74,6 +84,14 @@ func main() {
 	if *show {
 		fmt.Print(p)
 		fmt.Println()
+	}
+
+	if *dynamic {
+		if *confirm {
+			log.Fatal("-dynamic replaces static analysis; it cannot be combined with -confirm")
+		}
+		runDynamic(desc, p, gp, *seed, *maxsteps, *jsonOut)
+		return
 	}
 
 	rep := staticrace.Analyze(p)
@@ -96,8 +114,10 @@ func main() {
 	}
 }
 
-// loadProgram resolves exactly one of the four program sources.
-func loadProgram(litmus, file, goFile string, gen bool, cfg progen.Config) (*prog.Program, string) {
+// loadProgram resolves exactly one of the four program sources. The
+// third return is the gofront program when -go was used, for mapping
+// predictions back to source positions.
+func loadProgram(litmus, file, goFile string, gen bool, cfg progen.Config) (*prog.Program, string, *gofront.Program) {
 	sources := 0
 	for _, on := range []bool{litmus != "", file != "", goFile != "", gen} {
 		if on {
@@ -120,13 +140,13 @@ func loadProgram(litmus, file, goFile string, gen bool, cfg progen.Config) (*pro
 			}
 			log.Fatal(err)
 		}
-		return gp.Prog, fmt.Sprintf("go %s", goFile)
+		return gp.Prog, fmt.Sprintf("go %s", goFile), gp
 	case litmus != "":
 		l := prog.LitmusByName(litmus)
 		if l == nil {
 			log.Fatalf("unknown litmus %q (see -list)", litmus)
 		}
-		return l.P, fmt.Sprintf("litmus %s (%s)", l.Name, l.Desc)
+		return l.P, fmt.Sprintf("litmus %s (%s)", l.Name, l.Desc), nil
 	case file != "":
 		r := os.Stdin
 		if file != "-" {
@@ -141,13 +161,13 @@ func loadProgram(litmus, file, goFile string, gen bool, cfg progen.Config) (*pro
 		if err != nil {
 			log.Fatalf("parse %s: %v", file, err)
 		}
-		return p, fmt.Sprintf("file %s", file)
+		return p, fmt.Sprintf("file %s", file), nil
 	default:
 		if cfg.Threads < 1 || cfg.OpsPerThread < 0 || cfg.Region < 1 || cfg.Locks < 0 {
 			log.Fatalf("invalid generator config: threads %d (≥1), ops %d (≥0), region %d (≥1), locks %d (≥0)",
 				cfg.Threads, cfg.OpsPerThread, cfg.Region, cfg.Locks)
 		}
-		return progen.Generate(cfg), fmt.Sprintf("generated (seed %d)", cfg.Seed)
+		return progen.Generate(cfg), fmt.Sprintf("generated (seed %d)", cfg.Seed), nil
 	}
 }
 
@@ -216,5 +236,59 @@ func confirmVerdict(p *prog.Program, rep *staticrace.Report, maxruns int) bool {
 			return false
 		}
 		return true
+	}
+}
+
+// runDynamic runs the predictive pipeline and prints its findings. For
+// gofront-loaded programs each racing access is mapped back to a source
+// position (best-effort: the recorder indexes recorded events, which for
+// lowered programs correspond one-to-one with worker ops).
+func runDynamic(desc string, p *prog.Program, gp *gofront.Program, seed int64, maxSteps uint64, jsonOut string) {
+	res := predict.Run(predict.ProgramTarget(p), predict.Options{Seed: seed, MaxSteps: maxSteps})
+	var src predict.SourceMap
+	if gp != nil {
+		src = func(worker, index int) string {
+			pos, _ := gp.OpAt(worker, index)
+			if !pos.IsValid() {
+				return ""
+			}
+			return pos.String()
+		}
+	}
+
+	fmt.Printf("program:    %s\n", desc)
+	fmt.Printf("recording:  %d events, %d steps (seed %d)\n", res.Recording.Events, res.RecordSteps, seed)
+	fmt.Printf("screening:  %d candidate pairs, %d feasible reorderings, %d uncertified\n",
+		res.Candidates, res.Feasible, res.Uncertified)
+	for _, pr := range res.Predictions {
+		v1 := pr.V1(src)
+		loc := ""
+		if v1.Second.Source != "" {
+			loc = " at " + v1.Second.Source
+		}
+		fmt.Printf("predicted:  %s @%d size %d: t%d[%d] vs t%d[%d]%s (schedule %d steps, hash %s)\n",
+			v1.Race, pr.Race.Addr, pr.Race.Size,
+			v1.First.Thread, v1.First.Index, v1.Second.Thread, v1.Second.Index, loc,
+			len(v1.Schedule.Steps), v1.DeterminismHash)
+	}
+	if len(res.Predictions) == 0 {
+		fmt.Printf("verdict:    NoRacePredicted\n")
+	} else {
+		fmt.Printf("verdict:    RacePredicted (%d certified)\n", len(res.Predictions))
+	}
+
+	if jsonOut != "" {
+		data, err := apiv1.Encode(res.V1(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if len(res.Predictions) > 0 {
+		os.Exit(2)
 	}
 }

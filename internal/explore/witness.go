@@ -1,0 +1,123 @@
+package explore
+
+// The witness bridge: explore's native output is aggregate (how many
+// interleavings raised which exceptions), but callers that want evidence
+// need the schedule of a racing run in the same shape the other engines
+// serialize. RaceSchedule searches until the first exception and returns
+// that run's dispatch sequence as an api/v1 WitnessSchedule, unifying
+// explore's witnesses with staticrace's sequential compositions and
+// predict's certified reorderings.
+
+import (
+	"errors"
+
+	apiv1 "repro/api/v1"
+	"repro/internal/machine"
+)
+
+// witnessTracer attributes traced events to workers and run-length
+// encodes the dispatch sequence. Sends count at arrival (the
+// position-taking publish) and receives at completion, matching the
+// predictive recorder, so the schedule stays replayable for unbuffered
+// rendezvous (whose completion order inverts the arrival order).
+type witnessTracer struct {
+	seqOf []int
+	steps []apiv1.ScheduleStep
+}
+
+func (w *witnessTracer) seq(tid int) int {
+	if tid >= 0 && tid < len(w.seqOf) {
+		return w.seqOf[tid]
+	}
+	return 0
+}
+
+func (w *witnessTracer) note(tid int) {
+	s := w.seq(tid)
+	if s == 0 {
+		return // the root's spawn/join bookkeeping is implicit
+	}
+	t := s - 1
+	if n := len(w.steps); n > 0 && w.steps[n-1].Thread == t {
+		w.steps[n-1].Ops++
+		return
+	}
+	w.steps = append(w.steps, apiv1.ScheduleStep{Thread: t, Ops: 1})
+}
+
+func (w *witnessTracer) Access(tid int, addr uint64, size int, write, shared bool, clock uint32) {
+	w.note(tid)
+}
+
+func (w *witnessTracer) Sync(tid int, kind machine.SyncEvent, obj uint64) {
+	if kind == machine.SyncChanSend || kind == machine.SyncChanRecv {
+		return // counted through the ChanObserver hooks instead
+	}
+	w.note(tid)
+}
+
+func (w *witnessTracer) Work(tid, n int) { w.note(tid) }
+
+func (w *witnessTracer) SpawnChild(parentTID, childTID, childSeq int) {
+	for childTID >= len(w.seqOf) {
+		w.seqOf = append(w.seqOf, 0)
+	}
+	w.seqOf[childTID] = childSeq
+}
+
+func (w *witnessTracer) ChanArrive(tid int, ch uint64, pos, capacity int) { w.note(tid) }
+
+func (w *witnessTracer) ChanComplete(tid int, ch uint64, send bool, pos, capacity int) {
+	if !send {
+		w.note(tid)
+	}
+}
+
+var _ machine.Tracer = (*witnessTracer)(nil)
+var _ machine.SpawnObserver = (*witnessTracer)(nil)
+var _ machine.ChanObserver = (*witnessTracer)(nil)
+
+// RaceSchedule searches build's interleavings sequentially until the
+// first race exception and returns that run's dispatch schedule in the
+// unified api/v1 witness shape together with the exception. ok is false
+// when no exception surfaced within opts.MaxRuns.
+func RaceSchedule(opts Options, build Builder) (*apiv1.WitnessSchedule, *machine.RaceError, bool) {
+	if opts.MaxRuns <= 0 {
+		opts.MaxRuns = 10000
+	}
+	frontier := [][]int{nil}
+	runs := 0
+	for len(frontier) > 0 && runs < opts.MaxRuns {
+		prefix := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+
+		picker := &replayPicker{prefix: prefix}
+		tr := &witnessTracer{seqOf: []int{0}}
+		var det machine.Detector
+		if opts.Detector != nil {
+			det = opts.Detector()
+		}
+		m := machine.New(machine.Config{
+			Detector: det,
+			DetSync:  opts.DetSync,
+			Picker:   picker.pick,
+			Tracer:   tr,
+		})
+		root := build(m)
+		err := m.Run(root)
+		runs++
+		var re *machine.RaceError
+		if errors.As(err, &re) {
+			return &apiv1.WitnessSchedule{Steps: tr.steps}, re, true
+		}
+		for step := len(picker.degrees) - 1; step >= len(prefix); step-- {
+			for alt := 1; alt < picker.degrees[step]; alt++ {
+				branch := make([]int, step+1)
+				copy(branch, prefix)
+				branch[step] = alt
+				frontier = append(frontier, branch)
+			}
+		}
+	}
+	return nil, nil, false
+}

@@ -265,6 +265,7 @@ func Experiments() []struct {
 		{"hotpath", "ns/op + allocs/op of the shadow fast lane and per-access check, BENCH_hotpath.json", Hotpath},
 		{"ablation", "§7 claim: CLEAN vs FastTrack vs TSan-lite software detectors", Ablation},
 		{"static", "static verdicts vs CLEAN/FastTrack/oracle on fuzzed programs", Static},
+		{"predict", "predictive detection: race recall + step cost vs exploration, BENCH_predict.json", Predict},
 		{"resilience", "fault-injection matrix: graceful degradation + deterministic replay of failures", Resilience},
 	}
 }

@@ -34,7 +34,7 @@ func TestExperimentsRunClean(t *testing.T) {
 }
 
 func TestExperimentRegistryNames(t *testing.T) {
-	want := []string{"detect", "determinism", "fig6", "fig7", "fig8", "table1", "fig9", "fig10", "fig11", "perf", "hotpath", "ablation", "static", "resilience"}
+	want := []string{"detect", "determinism", "fig6", "fig7", "fig8", "table1", "fig9", "fig10", "fig11", "perf", "hotpath", "ablation", "static", "predict", "resilience"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))

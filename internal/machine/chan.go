@@ -90,6 +90,9 @@ func (t *Thread) Send(c *Chan) {
 	k := c.sendArrivals
 	c.sendArrivals++
 	c.sendVCs = append(c.sendVCs, t.VC.Copy())
+	if co, ok := m.cfg.Tracer.(ChanObserver); ok {
+		co.ChanArrive(t.ID, c.id, k, c.cap)
+	}
 	m.tickClock(t)
 	c.wakeWaiters() // message k is now receivable
 	if need := k - c.cap; need >= 0 {
@@ -113,6 +116,9 @@ func (t *Thread) Send(c *Chan) {
 	c.sends++
 	t.syncDone()
 	m.trace(t.ID, SyncChanSend, c.id)
+	if co, ok := m.cfg.Tracer.(ChanObserver); ok {
+		co.ChanComplete(t.ID, c.id, true, k, c.cap)
+	}
 }
 
 // Recv performs one channel receive: it blocks until a message is
@@ -146,4 +152,7 @@ func (t *Thread) Recv(c *Chan) {
 	c.wakeWaiters() // a capacity slot is now free
 	t.syncDone()
 	m.trace(t.ID, SyncChanRecv, c.id)
+	if co, ok := m.cfg.Tracer.(ChanObserver); ok {
+		co.ChanComplete(t.ID, c.id, false, r, c.cap)
+	}
 }

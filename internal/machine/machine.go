@@ -83,6 +83,28 @@ type Tracer interface {
 	Work(tid int, n int)
 }
 
+// SpawnObserver is an optional Tracer extension. The SyncSpawn event
+// carries only the child's spawn sequence number; implementations of this
+// interface additionally learn the child's thread id, which the compact
+// callback cannot (ids are reused after Join, sequence numbers are not).
+// The predictive-detection recorder (internal/predict) needs the mapping
+// to attribute later events to logical threads.
+type SpawnObserver interface {
+	SpawnChild(parentTID, childTID, childSeq int)
+}
+
+// ChanObserver is an optional Tracer extension receiving channel queue
+// positions at the happens-before-relevant points of the Go memory
+// model's channel edges. A send publishes its message when it takes its
+// queue position (arrival) — possibly long before the SyncChanSend event,
+// which fires only at completion — so ChanArrive is the point the k-th
+// send's edge to the k-th receive originates. ChanComplete fires when the
+// operation finishes, alongside the regular Sync event.
+type ChanObserver interface {
+	ChanArrive(tid int, ch uint64, pos, capacity int)
+	ChanComplete(tid int, ch uint64, send bool, pos, capacity int)
+}
+
 // Config configures a Machine.
 type Config struct {
 	// Seed drives the scheduler's interleaving choices.

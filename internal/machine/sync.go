@@ -374,6 +374,9 @@ func (t *Thread) Spawn(fn func(*Thread)) *Thread {
 	m.startGoroutine(child)
 	t.syncDone()
 	m.trace(t.ID, SyncSpawn, uint64(child.Seq))
+	if so, ok := m.cfg.Tracer.(SpawnObserver); ok {
+		so.SpawnChild(t.ID, child.ID, child.Seq)
+	}
 	return child
 }
 

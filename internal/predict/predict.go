@@ -1,0 +1,231 @@
+// Package predict implements sync-preserving predictive race detection:
+// from one recorded execution it reports races that other correct
+// reorderings of the same trace would exhibit, without paying explore's
+// exponential schedule search.
+//
+// The pipeline has three stages:
+//
+//  1. Record — run the target once under the seeded scheduler with no
+//     detector attached (an exception must not truncate the trace) and
+//     capture every shared access and synchronization event, attributed
+//     to logical threads by spawn sequence number (thread ids are
+//     reused; sequence numbers are not).
+//
+//  2. Screen — a linear-time weak-vector-clock pass in the style of WCP
+//     (Kini/Mathur/Viswanathan, "Dynamic Race Prediction in Linear
+//     Time"): order events by program order, fork/join, and the Go
+//     memory model's channel edges, but deliberately drop lock
+//     release→acquire edges — a sync-preserving reordering may omit an
+//     earlier critical section entirely, so lock edges observed in the
+//     recording do not constrain the reorderings we search. Conflicting
+//     cross-thread pairs left unordered are candidates.
+//
+//  3. Reorder + certify — for each candidate, compute the
+//     sync-preserving closure of the pair's program-order prefixes
+//     (Mathur/Pavlogiannis/Viswanathan, "Optimal Prediction of
+//     Synchronization-Preserving Races"): the least prefix set that
+//     respects join/channel/lock-completion rules. If the closure fits
+//     under the pair (no required event lies beyond either access) it
+//     linearizes into a witness schedule ending with the two accesses
+//     back-to-back, write first. The witness is then re-executed on a
+//     fresh machine with a real detector attached; the prediction is
+//     reported only if the detector raises the predicted exception, and
+//     only if a second replay reproduces it byte-identically (race
+//     identity, final deterministic counters, shared-region hash). Every
+//     reported race is therefore self-certifying: it comes with a
+//     schedule the machine actually executed into a detector hit.
+//
+// Certification uses the CLEAN core detector by default, so predictions
+// inherit CLEAN's semantics: WAW and RAW only (the witness orders a
+// mixed pair write-first, realizing it as RAW — WAR is deliberately
+// undetected, §3.1 of the paper).
+package predict
+
+import (
+	"repro/internal/machine"
+)
+
+// Kind enumerates recorded event kinds.
+type Kind uint8
+
+// Event kinds, in no particular order. KindOther covers barrier,
+// condition-variable and signal events, which the analyses treat
+// conservatively as operations on a serializing object.
+const (
+	KindRead Kind = iota
+	KindWrite
+	KindAcquire
+	KindRelease
+	KindSend
+	KindRecv
+	KindFork
+	KindJoin
+	KindWork
+	KindOther
+)
+
+var kindNames = [...]string{
+	"read", "write", "acquire", "release", "send", "recv", "fork", "join", "work", "sync",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "event"
+}
+
+// Event is one recorded operation of one logical thread.
+type Event struct {
+	Kind   Kind
+	Thread int // spawn sequence number of the executing thread (0 = root)
+	Index  int // position in the thread's program order
+	G      int // position in the recorded global order
+
+	Addr  uint64 // Read/Write: accessed address
+	Size  int    // Read/Write: access width in bytes
+	Obj   uint64 // machine object id (locks, channels, other sync)
+	Child int    // Fork/Join: child thread's spawn sequence number
+	Pos   int    // Send/Recv: channel queue position
+	Cap   int    // Send/Recv: channel capacity
+	Work  int    // Work: units of private computation
+}
+
+// gref points into the recording's global order. A send appears twice:
+// once at arrival (taking its queue position and publishing its message)
+// and once at completion (joining the receive that freed its capacity
+// slot); the completion reference carries done=true and shares the
+// arrival's program-order event.
+type gref struct {
+	thread, index int
+	done          bool
+}
+
+// Recording is one run's event stream grouped by logical thread.
+type Recording struct {
+	// Threads holds per-thread program orders indexed by spawn sequence
+	// number; Threads[0] is the root.
+	Threads [][]Event
+	// Events counts recorded program-order events across all threads.
+	Events int
+	// Steps is the scheduler-step cost of the recording run.
+	Steps uint64
+	// Err is how the recording run ended (nil = clean exit). A deadlocked
+	// or truncated run still yields a usable partial trace.
+	Err error
+
+	order []gref
+}
+
+// Recorder implements machine.Tracer plus the SpawnObserver and
+// ChanObserver extensions, building a Recording as the machine runs.
+type Recorder struct {
+	rec   Recording
+	seqOf []int // machine thread id -> spawn sequence (ids are reused)
+}
+
+// NewRecorder returns a Recorder ready to be installed as a machine's
+// Tracer.
+func NewRecorder() *Recorder {
+	r := &Recorder{seqOf: []int{0}}
+	r.rec.Threads = [][]Event{nil}
+	return r
+}
+
+// Recording returns the recording built so far.
+func (r *Recorder) Recording() *Recording { return &r.rec }
+
+func (r *Recorder) seq(tid int) int {
+	if tid >= 0 && tid < len(r.seqOf) {
+		return r.seqOf[tid]
+	}
+	return 0
+}
+
+func (r *Recorder) add(tid int, e Event) {
+	s := r.seq(tid)
+	e.Thread = s
+	e.Index = len(r.rec.Threads[s])
+	e.G = len(r.rec.order)
+	r.rec.Threads[s] = append(r.rec.Threads[s], e)
+	r.rec.order = append(r.rec.order, gref{thread: s, index: e.Index})
+	r.rec.Events++
+}
+
+// Access records a shared access; private memory cannot race and is
+// dropped.
+func (r *Recorder) Access(tid int, addr uint64, size int, write, shared bool, clock uint32) {
+	if !shared {
+		return
+	}
+	k := KindRead
+	if write {
+		k = KindWrite
+	}
+	r.add(tid, Event{Kind: k, Addr: addr, Size: size})
+}
+
+// Sync records a synchronization event. Channel operations are recorded
+// through the ChanObserver hooks instead, which carry queue positions;
+// the plain completion event would double-count them.
+func (r *Recorder) Sync(tid int, kind machine.SyncEvent, obj uint64) {
+	switch kind {
+	case machine.SyncAcquire:
+		r.add(tid, Event{Kind: KindAcquire, Obj: obj})
+	case machine.SyncRelease:
+		r.add(tid, Event{Kind: KindRelease, Obj: obj})
+	case machine.SyncSpawn:
+		r.add(tid, Event{Kind: KindFork, Child: int(obj)})
+	case machine.SyncJoin:
+		r.add(tid, Event{Kind: KindJoin, Child: int(obj)})
+	case machine.SyncChanSend, machine.SyncChanRecv:
+	default:
+		r.add(tid, Event{Kind: KindOther, Obj: obj})
+	}
+}
+
+// Work records private computation (kept so replay cursors can track it).
+func (r *Recorder) Work(tid, n int) {
+	r.add(tid, Event{Kind: KindWork, Work: n})
+}
+
+// SpawnChild learns the child's reusable thread id alongside its stable
+// spawn sequence number.
+func (r *Recorder) SpawnChild(parentTID, childTID, childSeq int) {
+	for childTID >= len(r.seqOf) {
+		r.seqOf = append(r.seqOf, 0)
+	}
+	r.seqOf[childTID] = childSeq
+	for childSeq >= len(r.rec.Threads) {
+		r.rec.Threads = append(r.rec.Threads, nil)
+	}
+}
+
+// ChanArrive records a send at the point it takes its queue position and
+// publishes its message — the origin of the k-th-send→k-th-receive edge,
+// which for an unbuffered channel precedes the send's completion.
+func (r *Recorder) ChanArrive(tid int, ch uint64, pos, capacity int) {
+	r.add(tid, Event{Kind: KindSend, Obj: ch, Pos: pos, Cap: capacity})
+}
+
+// ChanComplete records a receive (receives arrive and complete
+// atomically) and, for sends, appends a global-order completion marker
+// for the capacity-slot join without adding a second program-order event.
+func (r *Recorder) ChanComplete(tid int, ch uint64, send bool, pos, capacity int) {
+	if !send {
+		r.add(tid, Event{Kind: KindRecv, Obj: ch, Pos: pos, Cap: capacity})
+		return
+	}
+	s := r.seq(tid)
+	for i := len(r.rec.Threads[s]) - 1; i >= 0; i-- {
+		e := &r.rec.Threads[s][i]
+		if e.Kind == KindSend && e.Obj == ch && e.Pos == pos {
+			r.rec.order = append(r.rec.order, gref{thread: s, index: i, done: true})
+			return
+		}
+	}
+}
+
+var _ machine.Tracer = (*Recorder)(nil)
+var _ machine.SpawnObserver = (*Recorder)(nil)
+var _ machine.ChanObserver = (*Recorder)(nil)

@@ -1,0 +1,78 @@
+package predict
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/progen"
+	"repro/internal/staticrace"
+)
+
+// TestSoundnessFuzz drives ~200 generated programs through the full
+// pipeline and checks the two soundness obligations:
+//
+//  1. Every returned prediction is certified — its witness schedule
+//     re-executed (twice, byte-identically) into the predicted detector
+//     exception. Run enforces this by construction; the fuzz asserts the
+//     evidence really is attached for every program shape the generator
+//     produces.
+//  2. No prediction is ever reported for a program the static analyzer
+//     proves race-free: a certified prediction is an executed race, so
+//     one on a RaceFree program would disprove the analyzer or the
+//     closure. (The converse does not hold — prediction works from one
+//     recorded run and legitimately misses races only other recordings
+//     reach.)
+func TestSoundnessFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz corpus skipped in -short")
+	}
+	type gen struct {
+		name string
+		cfg  func(seed int64) progen.Config
+	}
+	gens := []gen{
+		{"small", progen.SmallConfig},
+		{"nested", progen.NestedConfig},
+		{"default", progen.DefaultConfig},
+	}
+	const seedsPerGen = 67 // 3×67 = 201 programs
+	programs, predictions, raceFree := 0, 0, 0
+	for _, g := range gens {
+		for seed := int64(0); seed < seedsPerGen; seed++ {
+			p := progen.Generate(g.cfg(seed))
+			programs++
+			res := Run(ProgramTarget(p), Options{Seed: seed})
+			if res.Recording.Err != nil {
+				t.Fatalf("%s/%d: recording failed: %v", g.name, seed, res.Recording.Err)
+			}
+			static := staticrace.Analyze(p).Verdict()
+			if static == staticrace.RaceFree {
+				raceFree++
+				if len(res.Predictions) != 0 {
+					t.Errorf("%s/%d: %d predictions on a statically race-free program",
+						g.name, seed, len(res.Predictions))
+				}
+			}
+			for i, pr := range res.Predictions {
+				predictions++
+				if !pr.Certified || pr.Race == nil || pr.Hash == 0 {
+					t.Fatalf("%s/%d: prediction %d returned without certification evidence", g.name, seed, i)
+				}
+				if pr.Kind != machine.WAW && pr.Kind != machine.RAW {
+					t.Errorf("%s/%d: prediction %d kind %v outside CLEAN's WAW/RAW model", g.name, seed, i, pr.Kind)
+				}
+				if pr.Race.Kind != pr.Kind || pr.Race.Addr != pr.Second.Addr {
+					t.Errorf("%s/%d: prediction %d replay (%v@%#x) disagrees with witness (%v@%#x)",
+						g.name, seed, i, pr.Race.Kind, pr.Race.Addr, pr.Kind, pr.Second.Addr)
+				}
+			}
+		}
+	}
+	if predictions == 0 {
+		t.Fatal("fuzz corpus produced no predictions at all — the pipeline is not firing")
+	}
+	if raceFree == 0 {
+		t.Fatal("fuzz corpus contained no race-free programs — the negative obligation went unexercised")
+	}
+	t.Logf("%d programs (%d race-free), %d certified predictions", programs, raceFree, predictions)
+}

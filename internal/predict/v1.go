@@ -1,0 +1,80 @@
+package predict
+
+import (
+	apiv1 "repro/api/v1"
+	"repro/internal/telemetry"
+)
+
+// SourceMap resolves a worker's i-th recorded operation to a source
+// position string ("file:line:col"); gofront-backed callers build one
+// from the front end's source map, others pass nil.
+type SourceMap func(worker, index int) string
+
+// V1Schedule converts an internal witness (one spawn sequence number per
+// dispatched event) to the unified api/v1 shape: run-length-encoded
+// worker steps, the root's bookkeeping dropped as implicit.
+func V1Schedule(sched []int) *apiv1.WitnessSchedule {
+	ws := &apiv1.WitnessSchedule{}
+	for _, seq := range sched {
+		if seq == 0 {
+			continue
+		}
+		w := seq - 1
+		if n := len(ws.Steps); n > 0 && ws.Steps[n-1].Thread == w {
+			ws.Steps[n-1].Ops++
+			continue
+		}
+		ws.Steps = append(ws.Steps, apiv1.ScheduleStep{Thread: w, Ops: 1})
+	}
+	return ws
+}
+
+// v1Access converts a recorded access, shifting spawn sequences to
+// worker indices (root = -1).
+func v1Access(a Access, src SourceMap) apiv1.PredictedAccess {
+	out := apiv1.PredictedAccess{
+		Thread: a.Thread - 1,
+		Index:  a.Index,
+		Addr:   a.Addr,
+		Size:   a.Size,
+		Write:  a.Write,
+	}
+	if src != nil && out.Thread >= 0 {
+		out.Source = src(out.Thread, a.Index)
+	}
+	return out
+}
+
+// V1 converts one prediction to the wire DTO.
+func (p *Prediction) V1(src SourceMap) *apiv1.PredictedRace {
+	out := apiv1.NewPredictedRace()
+	out.Race = p.Kind.String()
+	out.First = v1Access(p.First, src)
+	out.Second = v1Access(p.Second, src)
+	out.Schedule = V1Schedule(p.Schedule)
+	out.Certified = p.Certified
+	if p.Race != nil {
+		out.Witness = &apiv1.RaceWitness{
+			Kind:      p.Race.Kind.String(),
+			Addr:      p.Race.Addr,
+			Size:      p.Race.Size,
+			TID:       p.Race.TID,
+			SFR:       p.Race.SFR,
+			PrevTID:   p.Race.PrevTID,
+			PrevClock: p.Race.PrevClock,
+			Detector:  p.Race.Detector,
+			Schedule:  out.Schedule,
+		}
+	}
+	out.DeterminismHash = telemetry.FormatHash(p.Hash)
+	return out
+}
+
+// V1 converts a result's certified predictions to wire DTOs.
+func (r *Result) V1(src SourceMap) []apiv1.PredictedRace {
+	out := make([]apiv1.PredictedRace, 0, len(r.Predictions))
+	for i := range r.Predictions {
+		out = append(out, *r.Predictions[i].V1(src))
+	}
+	return out
+}

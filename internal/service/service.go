@@ -43,8 +43,10 @@ import (
 	"repro/internal/gofront"
 	"repro/internal/harness"
 	"repro/internal/machine"
+	"repro/internal/predict"
 	"repro/internal/prog"
 	"repro/internal/shadow"
+	"repro/internal/staticrace"
 	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/vclock"
@@ -1033,12 +1035,13 @@ func deadlineResult(j *job, seed int64) apiv1.RunResult {
 // OutcomeDeadline instead of pinning a worker.
 func (s *Server) runJob(j *job) []apiv1.RunResult {
 	maxSteps := s.effMaxSteps(j.sess.cfg, j.spec.MaxSteps)
+	det := s.effDetection(j)
 	if len(j.spec.Schedule) > 0 {
 		if j.expired() {
 			s.count("service.jobs_deadline_exceeded")
 			return []apiv1.RunResult{deadlineResult(j, 0)}
 		}
-		return []apiv1.RunResult{s.runScheduled(j.sess, j.prog, j.spec.Schedule, maxSteps)}
+		return []apiv1.RunResult{s.runScheduled(j.sess, det, j.prog, j.spec.Schedule, maxSteps)}
 	}
 	seeds := j.spec.Seeds
 	if len(seeds) == 0 {
@@ -1057,9 +1060,17 @@ func (s *Server) runJob(j *job) []apiv1.RunResult {
 			return deadlineResult(j, seeds[i])
 		}
 		if j.prog != nil {
-			return s.runProgram(j.sess, j.prog, seeds[i], maxSteps)
+			if det == clean.DetectPredict {
+				return s.runPredict(j.prog, seeds[i], maxSteps)
+			}
+			return s.runProgram(j.sess, det, j.prog, seeds[i], maxSteps)
 		}
-		return s.runWorkload(j.sess, j.spec.Workload, seeds[i], maxSteps)
+		if det == clean.DetectPredict {
+			// JobSpec.Validate rejects predict+workload at submission;
+			// this catches sessions opened in predict mode.
+			return errorResult(seeds[i], errors.New("predict mode needs a program-backed job (program, litmus or go_source)"))
+		}
+		return s.runWorkload(j.sess, det, j.spec.Workload, seeds[i], maxSteps)
 	})
 	if expired {
 		s.count("service.jobs_deadline_exceeded")
@@ -1068,6 +1079,18 @@ func (s *Server) runJob(j *job) []apiv1.RunResult {
 	s.metrics.Counter("service.runs_total").Add(uint64(len(results)))
 	s.metricsMu.Unlock()
 	return results
+}
+
+// effDetection resolves a job's detection mode: the spec's per-job
+// override when present (already vetted by JobSpec.Validate at
+// submission), else the session's mode.
+func (s *Server) effDetection(j *job) clean.Detection {
+	if j.spec.Detection != "" {
+		if d, err := clean.ParseDetection(j.spec.Detection); err == nil {
+			return d
+		}
+	}
+	return j.sess.detection
 }
 
 // effMaxSteps resolves the per-run scheduler budget: job override, then
@@ -1123,9 +1146,9 @@ func errorResult(seed int64, err error) apiv1.RunResult {
 }
 
 // runProgram runs a program job once under the given seed.
-func (s *Server) runProgram(sess *session, p *prog.Program, seed int64, maxSteps uint64) apiv1.RunResult {
+func (s *Server) runProgram(sess *session, det clean.Detection, p *prog.Program, seed int64, maxSteps uint64) apiv1.RunResult {
 	reg := sessionRegistry(sess.cfg)
-	cfg, err := clean.NewConfig(s.runOptions(sess.cfg, sess.detection, seed, reg, maxSteps)...)
+	cfg, err := clean.NewConfig(s.runOptions(sess.cfg, det, seed, reg, maxSteps)...)
 	if err != nil {
 		return errorResult(seed, err)
 	}
@@ -1151,8 +1174,8 @@ func (s *Server) runProgram(sess *session, p *prog.Program, seed int64, maxSteps
 // schedule — the static analyzer's witness-replay entry point. The
 // schedule fully determines the interleaving, so the result carries no
 // seed and no registry (the scheduler never consults either).
-func (s *Server) runScheduled(sess *session, p *prog.Program, schedule []int, maxSteps uint64) apiv1.RunResult {
-	cfg, err := clean.NewConfig(s.runOptions(sess.cfg, sess.detection, sess.cfg.Seed, nil, maxSteps)...)
+func (s *Server) runScheduled(sess *session, det clean.Detection, p *prog.Program, schedule []int, maxSteps uint64) apiv1.RunResult {
+	cfg, err := clean.NewConfig(s.runOptions(sess.cfg, det, sess.cfg.Seed, nil, maxSteps)...)
 	if err != nil {
 		return errorResult(0, err)
 	}
@@ -1172,6 +1195,38 @@ func (s *Server) runScheduled(sess *session, p *prog.Program, schedule []int, ma
 		ElapsedSeconds: time.Since(start).Seconds(),
 	}
 	finishProgramResult(&res, m, base, p.Region, runErr, nil, sess, 0)
+	if res.Witness != nil {
+		// Unified witness shape: a scheduled replay's evidence carries the
+		// sequential composition that produced it, same as predict's
+		// certified reorderings and staticrace's static witnesses.
+		res.Witness.Schedule = staticrace.V1Schedule(p, schedule...)
+	}
+	return res
+}
+
+// runPredict runs a program job in predictive mode: one recorded
+// execution under the seed, then sync-preserving reordering with
+// certification-by-replay. A run with certified predictions reports
+// OutcomeRaceException and carries the full predicted-race documents;
+// the first prediction's witness doubles as the RunResult witness so
+// predict results read like detection results.
+func (s *Server) runPredict(p *prog.Program, seed int64, maxSteps uint64) apiv1.RunResult {
+	start := time.Now()
+	pr := predict.Run(predict.ProgramTarget(p), predict.Options{Seed: seed, MaxSteps: maxSteps})
+	res := apiv1.RunResult{
+		Seed:           seed,
+		Outcome:        clean.OutcomeOf(pr.Recording.Err),
+		ElapsedSeconds: time.Since(start).Seconds(),
+	}
+	if pr.Recording.Err != nil {
+		res.Error = pr.Recording.Err.Error()
+	}
+	if len(pr.Predictions) > 0 {
+		res.Outcome = apiv1.OutcomeRaceException
+		res.Predicted = pr.V1(nil)
+		res.Witness = res.Predicted[0].Witness
+		res.DeterminismHash = res.Predicted[0].DeterminismHash
+	}
 	return res
 }
 
@@ -1213,9 +1268,9 @@ func finishProgramResult(res *apiv1.RunResult, m *clean.Machine, base uint64, re
 }
 
 // runWorkload runs a benchmark stand-in job once under the given seed.
-func (s *Server) runWorkload(sess *session, w *apiv1.WorkloadSpec, seed int64, maxSteps uint64) apiv1.RunResult {
+func (s *Server) runWorkload(sess *session, det clean.Detection, w *apiv1.WorkloadSpec, seed int64, maxSteps uint64) apiv1.RunResult {
 	reg := sessionRegistry(sess.cfg)
-	cfg, err := clean.NewConfig(s.runOptions(sess.cfg, sess.detection, seed, reg, maxSteps)...)
+	cfg, err := clean.NewConfig(s.runOptions(sess.cfg, det, seed, reg, maxSteps)...)
 	if err != nil {
 		return errorResult(seed, err)
 	}

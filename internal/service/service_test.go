@@ -498,3 +498,71 @@ func TestGoSourceJobRejectsBadSource(t *testing.T) {
 		}
 	}
 }
+
+// TestPredictJob drives the predict-enabled job path end to end: a racy
+// litmus submitted with the per-job detection override yields certified
+// predicted-race documents (with witness schedules), a race-free litmus
+// yields none, and a workload job in a predict session fails cleanly.
+func TestPredictJob(t *testing.T) {
+	ctx := context.Background()
+	_, c := startTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	sess, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionCLEAN, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Run(ctx, sess.ID, apiv1.JobSpec{Litmus: "waw", Detection: apiv1.DetectionPredict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != apiv1.JobDone || len(job.Runs) != 1 {
+		t.Fatalf("job state %q with %d runs, want done with 1", job.State, len(job.Runs))
+	}
+	res := job.Runs[0]
+	if res.Outcome != apiv1.OutcomeRaceException {
+		t.Fatalf("predict outcome %q (%s), want race-exception", res.Outcome, res.Error)
+	}
+	if len(res.Predicted) == 0 {
+		t.Fatal("predict run reported no predictions")
+	}
+	for i, p := range res.Predicted {
+		if p.Schema != apiv1.SchemaVersion || p.Kind != apiv1.KindPredictedRace {
+			t.Errorf("prediction %d: schema stamp %d/%q", i, p.Schema, p.Kind)
+		}
+		if !p.Certified || p.Witness == nil {
+			t.Errorf("prediction %d: uncertified or witness-less (certified=%v)", i, p.Certified)
+		}
+		if p.Schedule == nil || len(p.Schedule.Steps) == 0 {
+			t.Errorf("prediction %d: empty witness schedule", i)
+		}
+		if p.DeterminismHash == "" {
+			t.Errorf("prediction %d: missing determinism hash", i)
+		}
+	}
+	if res.Witness == nil || res.Witness.Schedule == nil {
+		t.Error("predict run result lacks the first prediction's witness")
+	}
+
+	// Race-free program: recording completes, nothing is predicted.
+	quiet, err := c.Run(ctx, sess.ID, apiv1.JobSpec{Litmus: "locked-counter", Detection: apiv1.DetectionPredict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := quiet.Runs[0]; r.Outcome != apiv1.OutcomeCompleted || len(r.Predicted) != 0 {
+		t.Errorf("race-free predict run: outcome %q, %d predictions", r.Outcome, len(r.Predicted))
+	}
+
+	// A session opened in predict mode rejects workload jobs at run time
+	// (spec-level predict+workload is already a 400 in Validate).
+	psess, err := c.CreateSession(ctx, apiv1.SessionConfig{Detection: apiv1.DetectionPredict, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := c.Run(ctx, psess.ID, apiv1.JobSpec{Workload: &apiv1.WorkloadSpec{Name: "counter", Scale: "test"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := wl.Runs[0]; r.Outcome != apiv1.OutcomeError || !strings.Contains(r.Error, "predict") {
+		t.Errorf("workload under predict session: outcome %q error %q, want error mentioning predict", r.Outcome, r.Error)
+	}
+}

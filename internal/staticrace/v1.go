@@ -28,5 +28,51 @@ func V1Report(desc string, p *prog.Program, rep *Report) *apiv1.RunReport {
 		"staticrace.pairs.may_race":       uint64(may),
 		"staticrace.pairs.must_race":      uint64(must),
 	}}
+	out.Witness = V1Witness(p, rep)
 	return out
+}
+
+// V1Schedule renders a sequential-composition schedule — each listed
+// worker runs all its operations to completion, in order — in the
+// unified api/v1 witness shape shared with explore and predict.
+func V1Schedule(p *prog.Program, order ...int) *apiv1.WitnessSchedule {
+	ws := &apiv1.WitnessSchedule{}
+	for _, w := range order {
+		if w < 0 || w >= len(p.Threads) || len(p.Threads[w]) == 0 {
+			continue
+		}
+		ws.Steps = append(ws.Steps, apiv1.ScheduleStep{Thread: w, Ops: len(p.Threads[w])})
+	}
+	return ws
+}
+
+// V1Witness renders the first MustRace pair's witness in the unified
+// api/v1 shape, or nil when the analysis proved nothing executable.
+// Static analysis never ran the machine, so the witness is located in
+// static terms: Addr is the region-relative offset of the access that
+// completes the race, and TID/PrevTID are worker indices.
+func V1Witness(p *prog.Program, rep *Report) *apiv1.RaceWitness {
+	first, second, ok := rep.Witness()
+	if !ok {
+		return nil
+	}
+	for _, pair := range rep.Pairs {
+		if pair.Verdict != MustRace {
+			continue
+		}
+		completing, earlier := pair.B, pair.A
+		if pair.A.Thread == second {
+			completing, earlier = pair.A, pair.B
+		}
+		return &apiv1.RaceWitness{
+			Kind:     pair.Kinds[0].String(),
+			Addr:     completing.Off,
+			Size:     completing.Size,
+			TID:      completing.Thread,
+			PrevTID:  earlier.Thread,
+			Detector: "staticrace",
+			Schedule: V1Schedule(p, first, second),
+		}
+	}
+	return nil
 }

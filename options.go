@@ -11,6 +11,7 @@ package clean
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // Option configures one aspect of a Config; apply a set of them with
@@ -118,10 +119,8 @@ func New(opts ...Option) (*Machine, error) {
 // valid (the undetected baseline, for struct-literal compatibility);
 // NewConfig layers the explicitness requirements on top.
 func (c Config) Validate() error {
-	switch c.Detection {
-	case DetectNone, DetectCLEAN, DetectFastTrack, DetectTSanLite:
-	default:
-		return fmt.Errorf("clean: invalid detection mode %d (want DetectNone, DetectCLEAN, DetectFastTrack or DetectTSanLite)", int(c.Detection))
+	if c.Detection < 0 || c.Detection >= numDetections {
+		return fmt.Errorf("clean: invalid detection mode %d (want one of %s)", int(c.Detection), detectionNames())
 	}
 	if c.YieldEvery < 0 {
 		return fmt.Errorf("clean: negative YieldEvery %d", c.YieldEvery)
@@ -132,19 +131,37 @@ func (c Config) Validate() error {
 	if err := c.layout().Validate(); err != nil {
 		return fmt.Errorf("clean: %w", err)
 	}
-	if c.DisableMultibyteOpt && c.Detection != DetectCLEAN {
-		return fmt.Errorf("clean: DisableMultibyteOpt applies only to DetectCLEAN (detection is %v)", c.Detection)
+	if c.DisableMultibyteOpt && c.Detection != DetectCLEAN && c.Detection != DetectPredict {
+		return fmt.Errorf("clean: DisableMultibyteOpt applies only to DetectCLEAN and DetectPredict (detection is %v)", c.Detection)
 	}
 	return nil
 }
 
+// detectionNames renders the valid mode names for error text, derived
+// from the enum so a new mode cannot be missing from the message.
+func detectionNames() string {
+	var b strings.Builder
+	for i, d := range Detections() {
+		switch {
+		case i == 0:
+		case i == int(numDetections)-1:
+			b.WriteString(" or ")
+		default:
+			b.WriteString(", ")
+		}
+		b.WriteString(d.String())
+	}
+	return b.String()
+}
+
 // ParseDetection maps a detector name ("none", "clean", "fasttrack",
-// "tsanlite") to its Detection value; CLIs and the service share it.
+// "tsanlite", "predict") to its Detection value; CLIs and the service
+// share it. The error enumerates every valid mode.
 func ParseDetection(name string) (Detection, error) {
-	for _, d := range []Detection{DetectNone, DetectCLEAN, DetectFastTrack, DetectTSanLite} {
+	for _, d := range Detections() {
 		if d.String() == name {
 			return d, nil
 		}
 	}
-	return 0, fmt.Errorf("clean: unknown detector %q (want none, clean, fasttrack or tsanlite)", name)
+	return 0, fmt.Errorf("clean: unknown detector %q (want %s)", name, detectionNames())
 }
